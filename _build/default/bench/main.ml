@@ -1,0 +1,244 @@
+(* Microbenchmarks for every table and figure of the paper (bechamel).
+
+   Each group maps to one experiment:
+
+     table1  - evaluation cost: reference vs Model 1 vs Model 2, per
+               bias point and per characteristic family (the paper's
+               CPU-time workload)
+     table2  - accuracy-table workload at E_F = -0.32 eV (one V_DS
+               sweep per model)
+     table3  - same at E_F = -0.5 eV
+     table4  - same at E_F = 0 eV
+     table5  - synthetic-measurement generation and Javey-device model
+               evaluation
+     fig2/3  - one-off fitting cost of Model 1 / Model 2
+     fig4/5  - charge-curve evaluation: theory integral vs piecewise
+     fig6/7  - full output family generation, Model 1 / Model 2
+     fig8/9  - Model 2 sweeps at the extreme conditions
+     fig10/11- measured-curve generation for the comparison figures
+     ablation- solver internals: closed-form V_SC solve vs bracketed
+               Newton + quadrature, and the table-lookup variant
+
+   Wall-clock totals for the paper's exact loop counts are produced by
+   `repro table1` (bin/repro.ml); these microbenchmarks give the
+   statistically robust per-call costs behind them. *)
+
+open Bechamel
+open Toolkit
+open Cnt_physics
+open Cnt_core
+
+let device = Device.default
+let reference = Fettoy.create device
+let model1 = Cnt_model.model1 ()
+let model2 = Cnt_model.model2 ()
+let table_model = Table_model.make device
+
+let vds_points = Cnt_experiments.Workloads.vds_points
+let family_vgs = Cnt_experiments.Workloads.family_vgs
+
+(* devices of the other table conditions *)
+let cond_ef05 = Device.create ~fermi:(-0.5) ()
+let model2_ef05 = Cnt_model.make ~spec:Charge_fit.model2_spec cond_ef05
+let model1_ef05 = Cnt_model.make ~spec:Charge_fit.model1_spec cond_ef05
+let cond_ef0 = Device.create ~fermi:0.0 ()
+let model2_ef0 = Cnt_model.make ~spec:Charge_fit.model2_spec cond_ef0
+let model1_ef0 = Cnt_model.make ~spec:Charge_fit.model1_spec cond_ef0
+let cond_150_ef0 = Device.create ~temp:150.0 ~fermi:0.0 ()
+let model2_150 = Cnt_model.make ~spec:Charge_fit.model2_spec cond_150_ef0
+let cond_450_ef05 = Device.create ~temp:450.0 ~fermi:(-0.5) ()
+let model2_450 = Cnt_model.make ~spec:Charge_fit.model2_spec cond_450_ef05
+
+let javey = Device.javey
+let javey_reference = Fettoy.create javey
+let javey_model1 = Cnt_model.make ~spec:Charge_fit.model1_spec javey
+let javey_model2 = Cnt_model.make ~spec:Charge_fit.model2_spec javey
+
+let profile = Device.charge_profile device
+let n0 = Charge.equilibrium profile
+
+let sweep model vgs =
+  Array.map (fun vds -> Cnt_model.ids model ~vgs ~vds) vds_points
+
+let stage_unit f = Staged.stage (fun () -> ignore (f ()))
+
+(* Table I: per-bias-point and per-family evaluation cost. *)
+let table1 =
+  Test.make_grouped ~name:"table1"
+    [
+      Test.make ~name:"reference_point"
+        (stage_unit (fun () -> Fettoy.ids reference ~vgs:0.5 ~vds:0.3));
+      Test.make ~name:"model1_point"
+        (stage_unit (fun () -> Cnt_model.ids model1 ~vgs:0.5 ~vds:0.3));
+      Test.make ~name:"model2_point"
+        (stage_unit (fun () -> Cnt_model.ids model2 ~vgs:0.5 ~vds:0.3));
+      Test.make ~name:"model1_family_7x61"
+        (stage_unit (fun () ->
+             Cnt_model.output_family model1 ~vgs_list:family_vgs ~vds_points));
+      Test.make ~name:"model2_family_7x61"
+        (stage_unit (fun () ->
+             Cnt_model.output_family model2 ~vgs_list:family_vgs ~vds_points));
+    ]
+
+(* Tables II-IV: the accuracy-table sweep workload per condition. *)
+let table_sweeps name m1 m2 =
+  Test.make_grouped ~name
+    [
+      Test.make ~name:"model1_sweep_61pt" (stage_unit (fun () -> sweep m1 0.5));
+      Test.make ~name:"model2_sweep_61pt" (stage_unit (fun () -> sweep m2 0.5));
+    ]
+
+let table2 = table_sweeps "table2_ef-0.32" model1 model2
+let table3 = table_sweeps "table3_ef-0.5" model1_ef05 model2_ef05
+let table4 = table_sweeps "table4_ef0" model1_ef0 model2_ef0
+
+(* Table V / figs 10-11: synthetic measurement and Javey models. *)
+let table5 =
+  Test.make_grouped ~name:"table5_javey"
+    [
+      Test.make ~name:"synthetic_measurement_point"
+        (stage_unit (fun () ->
+             Cnt_experiments.Experimental.measure javey_reference ~vgs:0.4 ~vds:0.3));
+      Test.make ~name:"javey_model1_point"
+        (stage_unit (fun () -> Cnt_model.ids javey_model1 ~vgs:0.4 ~vds:0.3));
+      Test.make ~name:"javey_model2_point"
+        (stage_unit (fun () -> Cnt_model.ids javey_model2 ~vgs:0.4 ~vds:0.3));
+    ]
+
+(* Figs 2-3: one-off fitting cost (the price paid at model build). *)
+let fig23 =
+  Test.make_grouped ~name:"fig2_fig3_fitting"
+    [
+      Test.make ~name:"fit_model1"
+        (stage_unit (fun () -> Charge_fit.fit profile Charge_fit.model1_spec));
+      Test.make ~name:"fit_model2"
+        (stage_unit (fun () -> Charge_fit.fit profile Charge_fit.model2_spec));
+    ]
+
+(* Figs 4-5: charge-curve evaluation, integral vs piecewise. *)
+let fig45 =
+  let approx1 = Cnt_model.charge_approx model1 in
+  let approx2 = Cnt_model.charge_approx model2 in
+  Test.make_grouped ~name:"fig4_fig5_charge"
+    [
+      Test.make ~name:"qs_theory_integral"
+        (stage_unit (fun () -> Charge.qs ~n0 profile (-0.4)));
+      Test.make ~name:"qs_model1_piecewise"
+        (stage_unit (fun () -> Piecewise.eval approx1 (-0.4)));
+      Test.make ~name:"qs_model2_piecewise"
+        (stage_unit (fun () -> Piecewise.eval approx2 (-0.4)));
+    ]
+
+(* Figs 6-9: characteristic families at each figure's condition. *)
+let fig69 =
+  Test.make_grouped ~name:"fig6_to_fig9_families"
+    [
+      Test.make ~name:"fig6_model1_family"
+        (stage_unit (fun () ->
+             Cnt_model.output_family model1 ~vgs_list:family_vgs ~vds_points));
+      Test.make ~name:"fig7_model2_family"
+        (stage_unit (fun () ->
+             Cnt_model.output_family model2 ~vgs_list:family_vgs ~vds_points));
+      Test.make ~name:"fig8_model2_150K_ef0_sweep"
+        (stage_unit (fun () -> sweep model2_150 0.4));
+      Test.make ~name:"fig9_model2_450K_ef-0.5_sweep"
+        (stage_unit (fun () -> sweep model2_450 0.5));
+    ]
+
+let fig1011 =
+  Test.make_grouped ~name:"fig10_fig11_javey"
+    [
+      Test.make ~name:"measured_curve_41pt"
+        (stage_unit (fun () ->
+             Cnt_experiments.Experimental.measured_curve javey_reference ~vgs:0.4));
+      Test.make ~name:"javey_model2_sweep_41pt"
+        (stage_unit (fun () ->
+             Array.map
+               (fun vds -> Cnt_model.ids javey_model2 ~vgs:0.4 ~vds)
+               Cnt_experiments.Experimental.vds_points));
+    ]
+
+(* Ablation: where the speed-up comes from. *)
+let ablation =
+  let solver = Cnt_model.solver model2 in
+  let qt = Device.terminal_charge device ~vgs:0.5 ~vds:0.3 in
+  Test.make_grouped ~name:"ablation_solver"
+    [
+      Test.make ~name:"closed_form_vsc_solve"
+        (stage_unit (fun () -> Scv_solver.solve solver ~qt ~vds:0.3));
+      Test.make ~name:"reference_newton_quadrature_vsc"
+        (stage_unit (fun () -> Fettoy.solve_vsc reference ~vgs:0.5 ~vds:0.3));
+      Test.make ~name:"table_lookup_point"
+        (stage_unit (fun () -> Table_model.ids table_model ~vgs:0.5 ~vds:0.3));
+      Test.make ~name:"ids_from_known_vsc"
+        (stage_unit (fun () -> Fettoy.ids_of_vsc reference ~vds:0.3 (-0.34)));
+    ]
+
+(* Circuit-level cost with the model embedded in the SPICE substrate:
+   one inverter operating point, one VTC sweep point, one AC point. *)
+let spice_group =
+  let open Cnt_spice in
+  let p_model = Cnt_model.model2 ~polarity:Cnt_model.P_type () in
+  let inverter vin =
+    Circuit.create
+      [
+        Circuit.vdc "vdd" "vdd" "0" 0.6;
+        Circuit.vdc ~ac:1.0 "vin" "in" "0" vin;
+        Circuit.cnfet "mn" ~drain:"out" ~gate:"in" ~source:"0" model2;
+        Circuit.cnfet "mp" ~drain:"out" ~gate:"in" ~source:"vdd" p_model;
+      ]
+  in
+  let mid = inverter 0.3 in
+  Test.make_grouped ~name:"spice_substrate"
+    [
+      Test.make ~name:"inverter_dc_op"
+        (stage_unit (fun () -> Dc.operating_point mid));
+      Test.make ~name:"inverter_vtc_13pt"
+        (stage_unit (fun () ->
+             Dc.sweep (inverter 0.0) ~source:"vin" ~start:0.0 ~stop:0.6 ~step:0.05));
+      Test.make ~name:"inverter_ac_point"
+        (stage_unit (fun () -> Ac.run mid ~freqs:[| 1e9 |]));
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"cntsim"
+    [
+      table1; table2; table3; table4; table5; fig23; fig45; fig69; fig1011;
+      ablation; spice_group;
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~stabilize:false ()
+  in
+  let raw_results = Benchmark.all cfg instances all_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  (Analyze.merge ols instances results, raw_results)
+
+let () =
+  List.iter
+    (fun v -> Bechamel_notty.Unit.add v (Measure.unit v))
+    Instance.[ monotonic_clock ];
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 120; h = 1 }
+  in
+  let results, _ = benchmark () in
+  let img =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+      ~predictor:Measure.run results
+  in
+  Notty_unix.eol img |> Notty_unix.output_image;
+  print_newline ();
+  print_endline
+    "Groups map to the paper's experiments (see DESIGN.md section 3).";
+  print_endline
+    "Wall-clock totals for the paper's exact Table I loop counts: run `dune exec \
+     bin/repro.exe -- table1`."

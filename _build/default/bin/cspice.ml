@@ -1,0 +1,56 @@
+(* Run a SPICE-dialect netlist with CNFET devices.
+
+     cspice inverter.cir
+     cspice --csv results/ inverter.cir *)
+
+open Cmdliner
+
+let run csv_dir max_rows path =
+  let text =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Cnt_spice.Parser.parse text with
+  | exception Cnt_spice.Parser.Parse_error msg ->
+      prerr_endline ("parse error: " ^ msg);
+      1
+  | deck ->
+      Printf.printf "* title: %s\n" deck.Cnt_spice.Parser.title;
+      let tables = Cnt_spice.Engine.run_deck deck in
+      if tables = [] then
+        prerr_endline "warning: netlist contains no analysis directive (.op/.dc/.tran)";
+      List.iteri
+        (fun i t ->
+          Format.printf "%a@." (Cnt_spice.Engine.pp_table ~max_rows) t;
+          match csv_dir with
+          | None -> ()
+          | Some dir ->
+              if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+              let base = Filename.remove_extension (Filename.basename path) in
+              let out = Filename.concat dir (Printf.sprintf "%s_%d.csv" base i) in
+              let oc = open_out out in
+              output_string oc (Cnt_spice.Engine.table_to_csv t);
+              close_out oc;
+              Printf.printf "saved %s\n" out)
+        tables;
+      0
+
+let csv_arg =
+  let doc = "Also write each analysis result as CSV under $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let rows_arg =
+  let doc = "Maximum rows to print per table." in
+  Arg.(value & opt int 50 & info [ "max-rows" ] ~docv:"N" ~doc)
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc:"Netlist file.")
+
+let cmd =
+  let doc = "SPICE-like circuit simulator with ballistic CNFET devices" in
+  Cmd.v (Cmd.info "cspice" ~doc) Term.(const run $ csv_arg $ rows_arg $ path_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,56 @@
+(* Regenerate the paper's tables and figures.
+
+     repro all
+     repro table1 fig6 fig7
+     repro --list *)
+
+open Cmdliner
+
+let run_repro list_only quiet dir ids =
+  if list_only then begin
+    List.iter print_endline Cnt_experiments.Repro.experiment_ids;
+    0
+  end
+  else begin
+    let ids =
+      match ids with
+      | [] | [ "all" ] -> Cnt_experiments.Repro.experiment_ids
+      | ids -> ids
+    in
+    match
+      Cnt_experiments.Repro.run_all ~dir ~ids ~print:(not quiet) ()
+    with
+    | results ->
+        List.iter
+          (fun (artefact, path) ->
+            Printf.printf "saved %s -> %s\n" artefact.Cnt_experiments.Repro.name path)
+          results;
+        0
+    | exception Invalid_argument msg ->
+        prerr_endline ("error: " ^ msg);
+        1
+  end
+
+let ids_arg =
+  let doc = "Experiments to run (table1..table5, fig2..fig11, or 'all')." in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let list_arg =
+  let doc = "List the available experiment ids and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let quiet_arg =
+  let doc = "Do not print renderings; only save CSVs." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let dir_arg =
+  let doc = "Directory for the CSV artefacts." in
+  Arg.(value & opt string "results" & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let cmd =
+  let doc = "regenerate the tables and figures of the CNT piecewise-model paper" in
+  Cmd.v
+    (Cmd.info "repro" ~doc)
+    Term.(const run_repro $ list_arg $ quiet_arg $ dir_arg $ ids_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,66 @@
+(* CNT CMOS inverter: voltage-transfer curve, small-signal gain and
+   noise margins, computed with the SPICE substrate and the paper's
+   Model 2 devices.  This is the "logic circuit structures" use the
+   paper targets.
+
+   Run with:  dune exec examples/inverter_vtc.exe *)
+
+open Cnt_spice
+open Cnt_core
+
+let vdd = 0.6
+
+let () =
+  (* complementary pair sharing one fitted n-type model and its p-type
+     mirror *)
+  let n_model = Cnt_model.model2 () in
+  let p_model = Cnt_model.model2 ~polarity:Cnt_model.P_type () in
+  let circuit =
+    Circuit.create
+      [
+        Circuit.vdc "vdd" "vdd" "0" vdd;
+        Circuit.vdc "vin" "in" "0" 0.0;
+        Circuit.cnfet "mn1" ~drain:"out" ~gate:"in" ~source:"0" n_model;
+        Circuit.cnfet "mp1" ~drain:"out" ~gate:"in" ~source:"vdd" p_model;
+      ]
+  in
+  let sweep = Dc.sweep circuit ~source:"vin" ~start:0.0 ~stop:vdd ~step:0.005 in
+  let vin = sweep.Dc.sweep_values in
+  let vout = Dc.sweep_voltage sweep "out" in
+
+  (* switching threshold: v_out crosses v_in *)
+  let vm =
+    let rec find i =
+      if i >= Array.length vin then nan
+      else if vout.(i) <= vin.(i) then vin.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  (* peak small-signal gain from finite differences *)
+  let gain = ref 0.0 in
+  for i = 1 to Array.length vin - 2 do
+    let g = (vout.(i + 1) -. vout.(i - 1)) /. (vin.(i + 1) -. vin.(i - 1)) in
+    if Float.abs g > !gain then gain := Float.abs g
+  done;
+  (* noise margins from the unity-gain points *)
+  let vil = ref nan and vih = ref nan in
+  for i = 1 to Array.length vin - 2 do
+    let g = (vout.(i + 1) -. vout.(i - 1)) /. (vin.(i + 1) -. vin.(i - 1)) in
+    if Float.is_nan !vil && g <= -1.0 then vil := vin.(i);
+    if (not (Float.is_nan !vil)) && Float.is_nan !vih && g > -1.0 then vih := vin.(i)
+  done;
+  Printf.printf "CNT CMOS inverter, VDD = %.2f V\n" vdd;
+  Printf.printf "  switching threshold VM ~ %.3f V (ideal VDD/2 = %.3f V)\n" vm (vdd /. 2.0);
+  Printf.printf "  peak |gain| = %.1f\n" !gain;
+  if not (Float.is_nan !vih) then begin
+    let nml = !vil -. 0.0 and nmh = vdd -. !vih in
+    Printf.printf "  VIL ~ %.3f V, VIH ~ %.3f V -> NML ~ %.3f V, NMH ~ %.3f V\n"
+      !vil !vih nml nmh
+  end;
+  print_newline ();
+  Cnt_experiments.Ascii_plot.print ~title:"inverter VTC"
+    [
+      Cnt_experiments.Ascii_plot.series ~marker:'*' ~label:"v(out)" vin vout;
+      Cnt_experiments.Ascii_plot.series ~marker:'.' ~label:"v(in)" vin vin;
+    ]

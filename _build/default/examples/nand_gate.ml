@@ -1,0 +1,40 @@
+(* Two-input CNT CMOS NAND gate, driven through the SPICE-dialect
+   parser: checks the full truth table with DC operating points.
+
+   Run with:  dune exec examples/nand_gate.exe *)
+
+open Cnt_spice
+
+let vdd = 0.6
+
+let netlist va vb =
+  Printf.sprintf
+    {|cnt nand gate
+VDD vdd 0 DC %g
+VA a 0 DC %g
+VB b 0 DC %g
+* pull-down network: two n-type devices in series
+MN1 out a mid CNFET
+MN2 mid b 0 CNFET
+* pull-up network: two p-type devices in parallel
+MP1 out a vdd PCNFET
+MP2 out b vdd PCNFET
+.op
+.print v(out)
+.end|}
+    vdd va vb
+
+let () =
+  Printf.printf "CNT CMOS NAND, VDD = %.2f V\n" vdd;
+  Printf.printf "%6s %6s %10s %8s\n" "A" "B" "v(out)" "logic";
+  List.iter
+    (fun (a, b) ->
+      let va = if a then vdd else 0.0 and vb = if b then vdd else 0.0 in
+      let deck = Parser.parse (netlist va vb) in
+      match Engine.run_deck deck with
+      | [ t ] ->
+          let vout = t.Engine.rows.(0).(0) in
+          let logic = if vout > vdd /. 2.0 then "1" else "0" in
+          Printf.printf "%6b %6b %10.4f %8s\n" a b vout logic
+      | _ -> failwith "expected exactly one analysis")
+    [ (false, false); (false, true); (true, false); (true, true) ]

@@ -1,0 +1,47 @@
+(* Quickstart: build the paper's Model 2 for the default device,
+   evaluate drain currents in closed form, and sanity-check one bias
+   point against the full numerical reference.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Cnt_physics
+open Cnt_core
+
+let () =
+  (* 1. Describe the device (defaults = the FETToy reference device:
+        1 nm tube, 1.5 nm oxide, T = 300 K, E_F = -0.32 eV). *)
+  let device = Device.default in
+  Format.printf "Device under test:@.  %a@.@." Device.pp device;
+
+  (* 2. Fit the piecewise model once.  This is the only numerical work;
+        every evaluation afterwards is closed-form. *)
+  let model = Cnt_model.model2 () in
+  Format.printf "Fitted model:@.  %a@.@." Cnt_model.pp model;
+
+  (* 3. Evaluate the drain current at a bias point. *)
+  let vgs = 0.5 and vds = 0.4 in
+  let i_fast = Cnt_model.ids model ~vgs ~vds in
+  Format.printf "I_DS(V_GS=%.2f, V_DS=%.2f) = %.4g A@." vgs vds i_fast;
+
+  (* 4. The self-consistent voltage behind that current, with solver
+        diagnostics: which breakpoint interval, what polynomial degree. *)
+  let stats = Cnt_model.solve_stats model ~vgs ~vds in
+  let lo, hi = stats.Scv_solver.interval in
+  Format.printf
+    "   V_SC = %.4f V (interval (%.3f, %.3f], degree-%d polynomial, fallback=%b)@."
+    stats.Scv_solver.vsc lo hi stats.Scv_solver.degree stats.Scv_solver.used_fallback;
+
+  (* 5. Cross-check against the full numerical reference (Newton +
+        quadrature): the two should agree to a couple of percent. *)
+  let reference = Fettoy.create device in
+  let i_ref = Fettoy.ids reference ~vgs ~vds in
+  Format.printf "   reference (FETToy-equivalent) = %.4g A, deviation %.2f%%@." i_ref
+    (100.0 *. Float.abs (i_fast -. i_ref) /. i_ref);
+
+  (* 6. A small transfer sweep, closed-form all the way. *)
+  Format.printf "@.Transfer characteristic at V_DS = 0.5 V:@.";
+  Array.iter
+    (fun vgs ->
+      Format.printf "  V_GS = %.2f V  ->  I_DS = %.4g A@." vgs
+        (Cnt_model.ids model ~vgs ~vds:0.5))
+    (Cnt_numerics.Grid.linspace 0.1 0.6 6)

@@ -1,0 +1,41 @@
+(* Non-ballistic transport (the paper's future work): how the Lundstrom
+   backscattering extension degrades the ballistic characteristics as
+   the channel gets longer than the mean free path.
+
+   Run with:  dune exec examples/scattering.exe *)
+
+open Cnt_core
+open Cnt_numerics
+
+let () =
+  let ballistic = Cnt_model.model2 () in
+  let vds_points = Grid.linspace 0.0 0.6 13 in
+  let mean_free_path = 200e-9 in
+  Printf.printf
+    "Lundstrom backscattering on top of the piecewise ballistic model\n";
+  Printf.printf "mean free path = %.0f nm\n\n" (mean_free_path *. 1e9);
+  Printf.printf "%-12s %14s %14s %14s\n" "L [nm]" "I(0.6,0.6) [A]" "ballisticity"
+    "I/I_ballistic";
+  let i_ball = Cnt_model.ids ballistic ~vgs:0.6 ~vds:0.6 in
+  List.iter
+    (fun l_nm ->
+      let nb =
+        Nonballistic.make ~mean_free_path ~channel_length:(l_nm *. 1e-9) ballistic
+      in
+      let i = Nonballistic.ids nb ~vgs:0.6 ~vds:0.6 in
+      Printf.printf "%-12.0f %14.4g %14.3f %14.3f\n" l_nm i
+        (Nonballistic.ballisticity nb ~vds:0.6)
+        (i /. i_ball))
+    [ 10.0; 30.0; 100.0; 300.0; 1000.0; 3000.0 ];
+  print_newline ();
+  (* output characteristics for a 300 nm channel *)
+  let nb = Nonballistic.make ~mean_free_path ~channel_length:300e-9 ballistic in
+  let ball_curve = Array.map (fun vds -> Cnt_model.ids ballistic ~vgs:0.5 ~vds) vds_points in
+  let nb_curve = Array.map (fun vds -> Nonballistic.ids nb ~vgs:0.5 ~vds) vds_points in
+  Cnt_experiments.Ascii_plot.print
+    ~title:"IDS vs VDS at VG=0.5: ballistic vs 300 nm channel"
+    [
+      Cnt_experiments.Ascii_plot.series ~marker:'*' ~label:"ballistic" vds_points ball_curve;
+      Cnt_experiments.Ascii_plot.series ~marker:'o' ~label:"L=300nm, lambda=200nm"
+        vds_points nb_curve;
+    ]

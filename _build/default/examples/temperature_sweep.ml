@@ -1,0 +1,38 @@
+(* Model validity across the paper's temperature range (150-450 K):
+   drain current and model error versus temperature at a fixed bias.
+
+   Run with:  dune exec examples/temperature_sweep.exe *)
+
+open Cnt_physics
+open Cnt_core
+open Cnt_numerics
+
+let () =
+  let temps = Grid.linspace 150.0 450.0 7 in
+  let vgs = 0.5 and vds = 0.4 in
+  Printf.printf "Bias point: V_GS = %.2f V, V_DS = %.2f V, E_F = -0.32 eV\n\n" vgs vds;
+  Printf.printf "%8s %14s %14s %14s %10s %10s\n" "T [K]" "I_ref [A]" "I_m1 [A]"
+    "I_m2 [A]" "err m1" "err m2";
+  let rows =
+    Array.map
+      (fun temp ->
+        let device = Device.create ~temp ~fermi:(-0.32) () in
+        let reference = Fettoy.create device in
+        let _, m1, _ = Model_tuning.optimise_for_current device Charge_fit.model1_spec in
+        let _, m2, _ = Model_tuning.optimise_for_current device Charge_fit.model2_spec in
+        let i_ref = Fettoy.ids reference ~vgs ~vds in
+        let i1 = Cnt_model.ids m1 ~vgs ~vds in
+        let i2 = Cnt_model.ids m2 ~vgs ~vds in
+        Printf.printf "%8.0f %14.5g %14.5g %14.5g %9.2f%% %9.2f%%\n" temp i_ref i1
+          i2
+          (100.0 *. Float.abs (i1 -. i_ref) /. i_ref)
+          (100.0 *. Float.abs (i2 -. i_ref) /. i_ref);
+        (temp, i_ref))
+      temps
+  in
+  print_newline ();
+  Cnt_experiments.Ascii_plot.print ~title:"reference I_DS vs temperature"
+    [
+      Cnt_experiments.Ascii_plot.series ~marker:'*' ~label:"I_DS(T) at fixed bias"
+        (Array.map fst rows) (Array.map snd rows);
+    ]

@@ -1,0 +1,1 @@
+lib/core/charge_fit.ml: Array Charge Cnt_numerics Cnt_physics Constants Fit Float Grid Linalg List Optimize Piecewise Polynomial Stats

@@ -1,0 +1,1 @@
+lib/core/charge_fit.mli: Charge Cnt_physics Piecewise

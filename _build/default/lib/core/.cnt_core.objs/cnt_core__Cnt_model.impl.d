@@ -1,0 +1,1 @@
+lib/core/cnt_model.ml: Array Charge_fit Cnt_numerics Cnt_physics Constants Device Fermi Float Format List Piecewise Polynomial Scv_solver

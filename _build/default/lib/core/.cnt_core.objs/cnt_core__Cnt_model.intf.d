@@ -1,0 +1,1 @@
+lib/core/cnt_model.mli: Charge_fit Cnt_physics Device Format Piecewise Scv_solver

@@ -1,0 +1,1 @@
+lib/core/export.ml: Array Buffer Cnt_model Cnt_numerics Cnt_physics Constants Device Fermi Filename Float List Piecewise Polynomial Printf Sys

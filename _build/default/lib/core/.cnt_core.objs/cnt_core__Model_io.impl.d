@@ -1,0 +1,1 @@
+lib/core/model_io.ml: Array Buffer Cnt_model Cnt_numerics Cnt_physics Device List Piecewise Polynomial Printf String

@@ -1,0 +1,1 @@
+lib/core/model_tuning.ml: Array Charge Charge_fit Cnt_model Cnt_numerics Cnt_physics Device Fettoy Grid Optimize Stats

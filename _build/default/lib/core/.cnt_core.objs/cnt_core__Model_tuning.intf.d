@@ -1,0 +1,1 @@
+lib/core/model_tuning.mli: Charge_fit Cnt_model Cnt_physics Device Fettoy

@@ -1,0 +1,1 @@
+lib/core/nonballistic.ml: Array Cnt_model Cnt_physics Device Fermi Float List

@@ -1,0 +1,1 @@
+lib/core/nonballistic.mli: Cnt_model

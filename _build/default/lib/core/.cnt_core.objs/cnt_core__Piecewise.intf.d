@@ -1,0 +1,1 @@
+lib/core/piecewise.mli: Cnt_numerics Format Polynomial

@@ -1,0 +1,1 @@
+lib/core/scv_solver.ml: Array Cnt_numerics Float List Piecewise Polynomial Rootfind

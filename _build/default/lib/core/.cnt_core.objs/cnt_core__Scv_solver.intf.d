@@ -1,0 +1,1 @@
+lib/core/scv_solver.mli: Cnt_numerics Piecewise

@@ -1,0 +1,1 @@
+lib/core/table_model.ml: Array Charge Cnt_numerics Cnt_physics Constants Device Fermi Float Interp List Rootfind

@@ -1,0 +1,1 @@
+lib/core/table_model.mli: Cnt_physics Device

@@ -1,0 +1,165 @@
+(* Top-level circuit-ready CNFET model: a fitted piecewise charge
+   approximation plus the closed-form self-consistent-voltage solver
+   and the analytic drain-current expression (paper eq. 14).
+
+   Construction performs the one-off numerical work (equilibrium
+   density, charge-curve fit); evaluation afterwards involves no
+   integration and no iteration, which is what makes the model >10^3
+   faster than the reference. *)
+
+open Cnt_numerics
+open Cnt_physics
+
+type polarity =
+  | N_type
+  | P_type
+
+type t = {
+  device : Device.t;
+  polarity : polarity;
+  spec : Charge_fit.spec;
+  fit : Charge_fit.fit_result;
+  solver : Scv_solver.t;
+  kt_ev : float;
+  current_scale : float; (* 2 q k T / (pi hbar), Amperes *)
+}
+
+let make ?(polarity = N_type) ?(spec = Charge_fit.model2_spec)
+    ?(optimise = false) ?theory device =
+  let profile = Device.charge_profile device in
+  let spec, fit =
+    if optimise then begin
+      let refined, fit, _ = Charge_fit.optimise_boundaries profile spec in
+      (refined, fit)
+    end
+    else (spec, Charge_fit.fit ?theory profile spec)
+  in
+  let solver =
+    Scv_solver.create ~qs:fit.Charge_fit.approx ~c_sigma:(Device.c_sigma device)
+  in
+  let temp = device.Device.temp in
+  {
+    device;
+    polarity;
+    spec;
+    fit;
+    solver;
+    kt_ev = Fermi.kt_ev temp;
+    current_scale =
+      2.0 *. Constants.elementary_charge *. Constants.thermal_energy temp
+      /. (Float.pi *. Constants.hbar);
+  }
+
+(* The paper's Model 1 (three pieces) on a device (default: the FETToy
+   reference device). *)
+(* Rebuild a model from previously fitted parts (deserialisation path):
+   no fitting happens; the spec is reconstructed from the approximation
+   so the accessors stay meaningful. *)
+let of_parts ?(polarity = N_type) ?(charge_rms = nan) ~device ~approx () =
+  let bounds = Piecewise.boundaries approx in
+  let fermi = device.Device.fermi in
+  let pieces = Piecewise.pieces approx in
+  let spec =
+    Charge_fit.spec
+      ~offsets:(Array.map (fun b -> b -. fermi) bounds)
+      ~degrees:
+        (Array.init (Array.length bounds) (fun i ->
+             max 1 (Polynomial.degree pieces.(i))))
+      ()
+  in
+  let fit =
+    {
+      Charge_fit.approx;
+      charge_rms;
+      sample_xs = [||];
+      sample_ys = [||];
+    }
+  in
+  let solver = Scv_solver.create ~qs:approx ~c_sigma:(Device.c_sigma device) in
+  let temp = device.Device.temp in
+  {
+    device;
+    polarity;
+    spec;
+    fit;
+    solver;
+    kt_ev = Fermi.kt_ev temp;
+    current_scale =
+      2.0 *. Constants.elementary_charge *. Constants.thermal_energy temp
+      /. (Float.pi *. Constants.hbar);
+  }
+
+let model1 ?polarity ?optimise ?(device = Device.default) () =
+  make ?polarity ~spec:Charge_fit.model1_spec ?optimise device
+
+(* The paper's Model 2 (four pieces). *)
+let model2 ?polarity ?optimise ?(device = Device.default) () =
+  make ?polarity ~spec:Charge_fit.model2_spec ?optimise device
+
+let device t = t.device
+let polarity t = t.polarity
+let spec t = t.spec
+let charge_approx t = t.fit.Charge_fit.approx
+let charge_rms t = t.fit.Charge_fit.charge_rms
+let solver t = t.solver
+
+(* Map terminal voltages through the device polarity: a p-type device
+   is the electron-hole mirror of the n-type one. *)
+let oriented t ~vgs ~vds =
+  match t.polarity with N_type -> (vgs, vds) | P_type -> (-.vgs, -.vds)
+
+let solve_vsc t ~vgs ~vds =
+  let vgs, vds = oriented t ~vgs ~vds in
+  let qt = Device.terminal_charge t.device ~vgs ~vds in
+  Scv_solver.solve t.solver ~qt ~vds
+
+let solve_stats t ~vgs ~vds =
+  let vgs, vds = oriented t ~vgs ~vds in
+  let qt = Device.terminal_charge t.device ~vgs ~vds in
+  Scv_solver.solve_stats t.solver ~qt ~vds
+
+(* Drain current from a solved V_SC (paper eq. 14); sign follows the
+   device polarity. *)
+let ids t ~vgs ~vds =
+  let ovgs, ovds = oriented t ~vgs ~vds in
+  let qt = Device.terminal_charge t.device ~vgs:ovgs ~vds:ovds in
+  let vsc = Scv_solver.solve t.solver ~qt ~vds:ovds in
+  let eta_s = (t.device.Device.fermi -. vsc) /. t.kt_ev in
+  let eta_d = eta_s -. (ovds /. t.kt_ev) in
+  let i =
+    t.current_scale
+    *. (Fermi.integral_order0 eta_s -. Fermi.integral_order0 eta_d)
+  in
+  match t.polarity with N_type -> i | P_type -> -.i
+
+(* Mobile charges at a bias point (for charge-conserving transient
+   stamps): total tube charge and its split between source and drain
+   (C/m). *)
+let charges t ~vgs ~vds =
+  let ovgs, ovds = oriented t ~vgs ~vds in
+  let qt = Device.terminal_charge t.device ~vgs:ovgs ~vds:ovds in
+  let vsc = Scv_solver.solve t.solver ~qt ~vds:ovds in
+  let qs = Piecewise.eval (charge_approx t) vsc in
+  let qd = Piecewise.eval (charge_approx t) (vsc +. ovds) in
+  (vsc, qs, qd)
+
+let output_family t ~vgs_list ~vds_points =
+  List.map (fun vgs -> (vgs, Array.map (fun vds -> ids t ~vgs ~vds) vds_points)) vgs_list
+
+let transfer t ~vds ~vgs_points = Array.map (fun vgs -> ids t ~vgs ~vds) vgs_points
+
+(* Numerical transconductance and output conductance (central
+   differences), for small-signal work. *)
+let gm ?(dv = 1e-4) t ~vgs ~vds =
+  (ids t ~vgs:(vgs +. dv) ~vds -. ids t ~vgs:(vgs -. dv) ~vds) /. (2.0 *. dv)
+
+let gds ?(dv = 1e-4) t ~vgs ~vds =
+  (ids t ~vgs ~vds:(vds +. dv) -. ids t ~vgs ~vds:(vds -. dv)) /. (2.0 *. dv)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s model (%s, %d pieces, charge RMS %.3f%%)@ %a@]"
+    (match t.polarity with N_type -> "n-type" | P_type -> "p-type")
+    t.device.Device.name
+    (Piecewise.piece_count (charge_approx t))
+    (100.0 *. charge_rms t)
+    Device.pp t.device

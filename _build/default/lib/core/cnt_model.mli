@@ -1,0 +1,79 @@
+(** Circuit-ready ballistic CNFET compact model — the paper's
+    contribution.  Construction fits the piecewise charge curve once;
+    every subsequent bias-point evaluation uses only closed-form
+    algebra (no integration, no iteration). *)
+
+open Cnt_physics
+
+type polarity =
+  | N_type
+  | P_type  (** electron-hole mirror of the n-type device *)
+
+type t
+
+val make :
+  ?polarity:polarity ->
+  ?spec:Charge_fit.spec ->
+  ?optimise:bool ->
+  ?theory:Charge_fit.theory_curve ->
+  Device.t ->
+  t
+(** Fit a model to a device.  Default spec is the paper's Model 2;
+    [~optimise:true] additionally refines the boundary offsets for the
+    device's own operating condition (the paper's numerical boundary
+    placement; adds a few hundred ms of one-off fitting work).  Pass a
+    precomputed [theory] curve to skip resampling the charge
+    integrals. *)
+
+val of_parts :
+  ?polarity:polarity ->
+  ?charge_rms:float ->
+  device:Device.t ->
+  approx:Piecewise.t ->
+  unit ->
+  t
+(** Rebuild a model from a previously fitted charge approximation
+    without refitting (the {!Model_io} deserialisation path). *)
+
+val model1 : ?polarity:polarity -> ?optimise:bool -> ?device:Device.t -> unit -> t
+(** The paper's Model 1 (linear/quadratic/zero pieces). *)
+
+val model2 : ?polarity:polarity -> ?optimise:bool -> ?device:Device.t -> unit -> t
+(** The paper's Model 2 (linear/quadratic/cubic/zero pieces). *)
+
+val device : t -> Device.t
+val polarity : t -> polarity
+val spec : t -> Charge_fit.spec
+
+val charge_approx : t -> Piecewise.t
+(** The fitted [Q_S(V_SC)] curve. *)
+
+val charge_rms : t -> float
+(** Relative RMS error of the charge fit over its window. *)
+
+val solver : t -> Scv_solver.t
+
+val solve_vsc : t -> vgs:float -> vds:float -> float
+(** Self-consistent voltage at a bias point, in closed form. *)
+
+val solve_stats : t -> vgs:float -> vds:float -> Scv_solver.stats
+
+val ids : t -> vgs:float -> vds:float -> float
+(** Drain current (A) at a bias point (paper eq. 14).  Negative for
+    p-type devices under positive bias. *)
+
+val charges : t -> vgs:float -> vds:float -> float * float * float
+(** [(v_sc, q_s, q_d)] at a bias point; charges in C/m. *)
+
+val output_family :
+  t -> vgs_list:float list -> vds_points:float array -> (float * float array) list
+
+val transfer : t -> vds:float -> vgs_points:float array -> float array
+
+val gm : ?dv:float -> t -> vgs:float -> vds:float -> float
+(** Transconductance [dI/dV_GS] by central difference. *)
+
+val gds : ?dv:float -> t -> vgs:float -> vds:float -> float
+(** Output conductance [dI/dV_DS] by central difference. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** Export a fitted piecewise CNFET model as Verilog-A or VHDL-AMS
+    source — the artefact the paper's authors published through the
+    Southampton VHDL-AMS validation suite.  The emitted source embeds
+    the fitted coefficients and region boundaries and states the
+    self-consistent voltage equation on an inner node/quantity for the
+    host simulator to solve. *)
+
+val poly_expression : var:string -> Cnt_numerics.Polynomial.t -> string
+(** A polynomial as a parenthesised Horner expression over [var]. *)
+
+val verilog_a : ?module_name:string -> Cnt_model.t -> string
+(** Verilog-A module text. *)
+
+val vhdl_ams : ?entity_name:string -> Cnt_model.t -> string
+(** VHDL-AMS entity/architecture text. *)
+
+val write :
+  ?dir:string ->
+  lang:[ `Verilog_a | `Vhdl_ams ] ->
+  ?name:string ->
+  Cnt_model.t ->
+  string
+(** Write the chosen flavour under [dir]; returns the file path. *)

@@ -1,0 +1,143 @@
+(* Model-card serialisation: save a fitted piecewise model as a small
+   line-based text file and load it back without refitting.  This is
+   what lets a SPICE deck reference a pre-fitted model
+   ("Mname d g s CNFET file=my.cntm") and what a foundry-style model
+   hand-off would ship.
+
+   Format (one record per line, '#' comments, whitespace-separated):
+
+     cntsim-model v1
+     polarity n|p
+     device diameter=<m> tox=<m> kappa=<> temp=<K> fermi=<eV>
+            alphag=<> alphad=<> subbands=<int>
+     charge_rms <fraction>
+     boundaries <b1> <b2> ...
+     piece <c0> <c1> ...          (ascending powers; one line per piece)
+
+   All floats are printed with %.17g so the round trip is exact. *)
+
+open Cnt_numerics
+open Cnt_physics
+
+exception Bad_model_file of string
+
+let magic = "cntsim-model v1"
+
+let to_string model =
+  let device = Cnt_model.device model in
+  let approx = Cnt_model.charge_approx model in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%s\n" magic;
+  add "# piecewise ballistic CNFET model (DATE 2008 technique)\n";
+  add "polarity %s\n"
+    (match Cnt_model.polarity model with
+    | Cnt_model.N_type -> "n"
+    | Cnt_model.P_type -> "p");
+  add
+    "device diameter=%.17g tox=%.17g kappa=%.17g temp=%.17g fermi=%.17g \
+     alphag=%.17g alphad=%.17g subbands=%d\n"
+    device.Device.diameter device.Device.oxide_thickness device.Device.dielectric
+    device.Device.temp device.Device.fermi device.Device.alpha_g
+    device.Device.alpha_d device.Device.subbands;
+  add "charge_rms %.17g\n" (Cnt_model.charge_rms model);
+  add "boundaries%s\n"
+    (String.concat ""
+       (Array.to_list
+          (Array.map (Printf.sprintf " %.17g") (Piecewise.boundaries approx))));
+  Array.iter
+    (fun piece ->
+      let coeffs = Polynomial.coeffs piece in
+      let coeffs = if Array.length coeffs = 0 then [| 0.0 |] else coeffs in
+      add "piece%s\n"
+        (String.concat ""
+           (Array.to_list (Array.map (Printf.sprintf " %.17g") coeffs))))
+    (Piecewise.pieces approx);
+  Buffer.contents buf
+
+let float_field line kvs key =
+  match List.assoc_opt key kvs with
+  | Some v -> begin
+      match float_of_string_opt v with
+      | Some f -> f
+      | None -> raise (Bad_model_file (Printf.sprintf "bad %s in %S" key line))
+    end
+  | None -> raise (Bad_model_file (Printf.sprintf "missing %s in %S" key line))
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | first :: rest when first = magic ->
+      let polarity = ref Cnt_model.N_type in
+      let device = ref None in
+      let charge_rms = ref nan in
+      let boundaries = ref [||] in
+      let pieces = ref [] in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          | "polarity" :: [ "n" ] -> polarity := Cnt_model.N_type
+          | "polarity" :: [ "p" ] -> polarity := Cnt_model.P_type
+          | "polarity" :: _ -> raise (Bad_model_file ("bad polarity line: " ^ line))
+          | "device" :: fields ->
+              let kvs =
+                List.map
+                  (fun f ->
+                    match String.index_opt f '=' with
+                    | Some i ->
+                        ( String.sub f 0 i,
+                          String.sub f (i + 1) (String.length f - i - 1) )
+                    | None ->
+                        raise (Bad_model_file ("bad device field: " ^ f)))
+                  fields
+              in
+              let g = float_field line kvs in
+              device :=
+                Some
+                  (Device.create ~diameter:(g "diameter")
+                     ~oxide_thickness:(g "tox") ~dielectric:(g "kappa")
+                     ~temp:(g "temp") ~fermi:(g "fermi") ~alpha_g:(g "alphag")
+                     ~alpha_d:(g "alphad")
+                     ~subbands:(int_of_float (g "subbands"))
+                     ())
+          | "charge_rms" :: [ v ] -> charge_rms := float_of_string v
+          | "boundaries" :: vs ->
+              boundaries := Array.of_list (List.map float_of_string vs)
+          | "piece" :: vs ->
+              pieces :=
+                Polynomial.of_coeffs (Array.of_list (List.map float_of_string vs))
+                :: !pieces
+          | _ -> raise (Bad_model_file ("unrecognised line: " ^ line)))
+        rest;
+      let device =
+        match !device with
+        | Some d -> d
+        | None -> raise (Bad_model_file "missing device line")
+      in
+      let pieces = Array.of_list (List.rev !pieces) in
+      if Array.length pieces <> Array.length !boundaries + 1 then
+        raise (Bad_model_file "piece/boundary count mismatch");
+      let approx = Piecewise.create ~boundaries:!boundaries ~pieces in
+      Cnt_model.of_parts ~polarity:!polarity ~charge_rms:!charge_rms ~device
+        ~approx ()
+  | first :: _ ->
+      raise (Bad_model_file (Printf.sprintf "bad magic %S (want %S)" first magic))
+  | [] -> raise (Bad_model_file "empty model file")
+
+let save path model =
+  let oc = open_out path in
+  output_string oc (to_string model);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  try of_string text
+  with Bad_model_file msg ->
+    raise (Bad_model_file (Printf.sprintf "%s: %s" path msg))

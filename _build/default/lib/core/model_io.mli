@@ -1,0 +1,12 @@
+(** Model-card serialisation: save fitted piecewise models as small
+    text files and load them back without refitting.  Floats round-trip
+    exactly. *)
+
+exception Bad_model_file of string
+
+val to_string : Cnt_model.t -> string
+val of_string : string -> Cnt_model.t
+(** Raises {!Bad_model_file} on malformed input. *)
+
+val save : string -> Cnt_model.t -> unit
+val load : string -> Cnt_model.t

@@ -1,0 +1,34 @@
+(** Boundary optimisation scored directly on the drain-current error
+    against the reference model (complements
+    {!Charge_fit.optimise_boundaries}, which scores on the charge
+    curve). *)
+
+open Cnt_physics
+
+type bias_grid = {
+  vgs : float array;
+  vds : float array;
+}
+
+val default_grid : bias_grid
+(** The paper's operating region: V_GS 0.1..0.6 V, V_DS 0..0.6 V. *)
+
+val reference_surface :
+  ?grid:bias_grid -> Fettoy.t -> float array array
+(** Reference currents, one row per grid gate voltage. *)
+
+val current_error :
+  ?grid:bias_grid -> reference:float array array -> Cnt_model.t -> float
+(** Mean (over gate voltages) relative RMS current error. *)
+
+val optimise_for_current :
+  ?grid:bias_grid ->
+  ?min_gap:float ->
+  ?max_iter:int ->
+  ?polarity:Cnt_model.polarity ->
+  Device.t ->
+  Charge_fit.spec ->
+  Charge_fit.spec * Cnt_model.t * float
+(** Refine a spec's boundary offsets by Nelder-Mead on the
+    current-error objective; returns the refined spec, the fitted
+    model, and the achieved mean error. *)

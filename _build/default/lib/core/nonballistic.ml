@@ -1,0 +1,70 @@
+(* Non-ballistic transport extension — the paper's stated future work
+   ("extension of the model to include non-ballistic transport
+   effects").
+
+   We implement the standard Lundstrom backscattering picture on top of
+   the ballistic piecewise model: carriers injected over the barrier
+   backscatter within a critical length of the barrier top, reducing
+   the current by a transmission factor
+
+     T = lambda / (lambda + l)
+
+   where lambda is the carrier mean free path and l the length over
+   which backscattering returns carriers to the source.  Near
+   equilibrium (V_DS << kT/q) the whole channel matters (l = L); in
+   saturation only the kT-layer does (l = L * (kT/q) / V_DS, clamped to
+   L).  lambda -> infinity recovers the ballistic model exactly.
+
+   This is deliberately a first-order model: the charge self-consistency
+   is kept ballistic (scattering mainly reduces transmitted flux, not
+   the barrier electrostatics, to first order), which is the same
+   approximation the Lundstrom elementary theory makes. *)
+
+open Cnt_physics
+
+type t = {
+  ballistic : Cnt_model.t;
+  mean_free_path : float; (* m *)
+  channel_length : float; (* m *)
+  kt_volts : float;
+}
+
+let make ~mean_free_path ~channel_length ballistic =
+  if mean_free_path <= 0.0 then
+    invalid_arg "Nonballistic.make: mean free path must be positive";
+  if channel_length <= 0.0 then
+    invalid_arg "Nonballistic.make: channel length must be positive";
+  {
+    ballistic;
+    mean_free_path;
+    channel_length;
+    kt_volts = Fermi.kt_ev (Cnt_model.device ballistic).Device.temp;
+  }
+
+let ballistic t = t.ballistic
+
+(* Backscattering length: the whole channel near equilibrium, the
+   kT-layer in saturation. *)
+let backscattering_length t ~vds =
+  let vds = Float.abs vds in
+  if vds <= t.kt_volts then t.channel_length
+  else t.channel_length *. t.kt_volts /. vds
+
+(* Transmission factor in (0, 1]; approaches 1 as lambda >> l. *)
+let transmission t ~vds =
+  let l = backscattering_length t ~vds in
+  t.mean_free_path /. (t.mean_free_path +. l)
+
+(* Ballisticity ratio I_nb / I_ballistic at a bias point (equals the
+   transmission in this first-order model). *)
+let ballisticity = transmission
+
+let ids t ~vgs ~vds =
+  transmission t ~vds *. Cnt_model.ids t.ballistic ~vgs ~vds
+
+let output_family t ~vgs_list ~vds_points =
+  List.map
+    (fun vgs -> (vgs, Array.map (fun vds -> ids t ~vgs ~vds) vds_points))
+    vgs_list
+
+let transfer t ~vds ~vgs_points = Array.map (fun vgs -> ids t ~vgs ~vds) vgs_points

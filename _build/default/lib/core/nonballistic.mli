@@ -1,0 +1,29 @@
+(** First-order non-ballistic transport extension (the paper's future
+    work): Lundstrom backscattering applied on top of the ballistic
+    piecewise model.  The infinite-mean-free-path limit recovers the
+    ballistic model exactly. *)
+
+type t
+
+val make : mean_free_path:float -> channel_length:float -> Cnt_model.t -> t
+(** Wrap a ballistic model with a carrier mean free path and channel
+    length (both metres, both positive). *)
+
+val ballistic : t -> Cnt_model.t
+
+val backscattering_length : t -> vds:float -> float
+(** The length over which backscattered carriers return to the source:
+    the whole channel near equilibrium, the kT-layer in saturation. *)
+
+val transmission : t -> vds:float -> float
+(** Lundstrom transmission [lambda / (lambda + l)], in (0, 1]. *)
+
+val ballisticity : t -> vds:float -> float
+(** [I_nonballistic / I_ballistic] at a drain bias. *)
+
+val ids : t -> vgs:float -> vds:float -> float
+
+val output_family :
+  t -> vgs_list:float list -> vds_points:float array -> (float * float array) list
+
+val transfer : t -> vds:float -> vgs_points:float array -> float array

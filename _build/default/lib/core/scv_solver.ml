@@ -1,0 +1,130 @@
+(* Closed-form solution of the self-consistent voltage equation
+   (paper eq. 7) for piecewise-polynomial charge curves.
+
+   With Q_S a piecewise polynomial of degree <= 3 and
+   Q_D(V) = Q_S(V + V_DS), the residual
+
+     F(V) = C_Sigma V + Q_t - Q_S(V) - Q_D(V)
+
+   is a single polynomial of degree <= 3 on every interval between
+   consecutive merged breakpoints {b_i} u {b_i - V_DS}.  F is strictly
+   increasing (C_Sigma > 0 and the charge curves are non-increasing),
+   so exactly one interval brackets the root, found by scanning the
+   breakpoint residuals; the root itself comes from the closed-form
+   linear/quadratic/Cardano formulas — no Newton-Raphson iterations
+   and no numerical integration, which is the paper's entire point. *)
+
+open Cnt_numerics
+
+type t = {
+  qs : Piecewise.t; (* source charge vs V_SC, C/m *)
+  c_sigma : float; (* F/m *)
+}
+
+type stats = {
+  vsc : float;
+  interval : float * float; (* bracketing interval (may be infinite) *)
+  degree : int; (* degree of the polynomial solved *)
+  used_fallback : bool; (* true when bisection rescued a degenerate case *)
+}
+
+let create ~qs ~c_sigma =
+  if c_sigma <= 0.0 then invalid_arg "Scv_solver.create: c_sigma must be positive";
+  { qs; c_sigma }
+
+let qs t = t.qs
+let c_sigma t = t.c_sigma
+
+(* Merged, sorted, deduplicated breakpoints of Q_S(V) and Q_S(V+vds). *)
+let merged_breakpoints t ~vds =
+  let bs = Piecewise.boundaries t.qs in
+  let shifted = Array.map (fun b -> b -. vds) bs in
+  let all = Array.append bs shifted in
+  Array.sort compare all;
+  let out = ref [] in
+  Array.iter
+    (fun b ->
+      match !out with
+      | prev :: _ when Float.abs (b -. prev) <= 1e-15 -> ()
+      | _ -> out := b :: !out)
+    all;
+  Array.of_list (List.rev !out)
+
+let residual t ~qt ~vds v =
+  (t.c_sigma *. v) +. qt -. Piecewise.eval t.qs v
+  -. Piecewise.eval t.qs (v +. vds)
+
+(* The polynomial form of F on the interval containing [x]. *)
+let residual_poly t ~qt ~vds x =
+  let open Polynomial in
+  let linear = of_coeffs [| qt; t.c_sigma |] in
+  let ps = Piecewise.piece_at t.qs x in
+  (* piece of the drain curve as a function of V: q_d(V) = p(V + vds) *)
+  let pd = Polynomial.shift (Piecewise.piece_at t.qs (x +. vds)) vds in
+  sub (sub linear ps) pd
+
+let solve_stats t ~qt ~vds =
+  let bps = merged_breakpoints t ~vds in
+  let n = Array.length bps in
+  (* locate the bracketing interval: first breakpoint with F >= 0 *)
+  let rec find i =
+    if i >= n then None
+    else if residual t ~qt ~vds bps.(i) >= 0.0 then Some i
+    else find (i + 1)
+  in
+  let lo, hi =
+    match find 0 with
+    | Some 0 -> (neg_infinity, bps.(0))
+    | Some i -> (bps.(i - 1), bps.(i))
+    | None ->
+        let last = if n = 0 then 0.0 else bps.(n - 1) in
+        (last, infinity)
+  in
+  (* the representative point selects the pieces; it must be strictly
+     interior to the interval, because a point sitting exactly on a
+     shifted breakpoint can be misclassified by floating-point error
+     when re-shifted by vds *)
+  let representative =
+    if Float.is_finite lo && Float.is_finite hi then 0.5 *. (lo +. hi)
+    else if Float.is_finite hi then hi -. 1.0
+    else lo +. 1.0
+  in
+  let poly = residual_poly t ~qt ~vds representative in
+  let deg = Polynomial.degree poly in
+  let eps = 1e-9 in
+  let in_interval r = r >= lo -. eps && r <= hi +. eps in
+  let candidates =
+    List.filter in_interval (Polynomial.real_roots_closed_form poly)
+  in
+  let clamp v = Float.min (Float.max v lo) hi in
+  match candidates with
+  | [ r ] ->
+      { vsc = clamp r; interval = (lo, hi); degree = deg; used_fallback = false }
+  | r :: _ :: _ ->
+      (* multiple closed-form roots landed inside (degenerate shapes);
+         keep the one with the smallest residual *)
+      let best =
+        List.fold_left
+          (fun acc r ->
+            if
+              Float.abs (residual t ~qt ~vds r)
+              < Float.abs (residual t ~qt ~vds acc)
+            then r
+            else acc)
+          r candidates
+      in
+      { vsc = clamp best; interval = (lo, hi); degree = deg; used_fallback = false }
+  | [] ->
+      (* defensive fallback: bisection on a finite cover of the interval;
+         not reached for well-formed monotone charge fits *)
+      let flo = if Float.is_finite lo then lo else hi -. 10.0 in
+      let fhi = if Float.is_finite hi then hi else lo +. 10.0 in
+      let r = Rootfind.bisect ~tol:1e-13 (residual t ~qt ~vds) flo fhi in
+      {
+        vsc = r.Rootfind.root;
+        interval = (lo, hi);
+        degree = deg;
+        used_fallback = true;
+      }
+
+let solve t ~qt ~vds = (solve_stats t ~qt ~vds).vsc

@@ -1,0 +1,41 @@
+(** Closed-form solver of the self-consistent voltage equation for
+    piecewise-polynomial charge approximations (paper sections IV-V).
+
+    Replaces the Newton-Raphson + numerical-integration inner loop of
+    the reference model with breakpoint scanning plus closed-form
+    polynomial roots of degree at most 3. *)
+
+type t
+
+type stats = {
+  vsc : float;  (** the solved self-consistent voltage, V *)
+  interval : float * float;  (** bracketing breakpoint interval *)
+  degree : int;  (** degree of the polynomial solved on it *)
+  used_fallback : bool;  (** whether bisection rescued a degenerate case *)
+}
+
+val create : qs:Piecewise.t -> c_sigma:float -> t
+(** Build a solver from the fitted source charge curve [Q_S(V_SC)]
+    (C/m) and the total terminal capacitance (F/m). *)
+
+val qs : t -> Piecewise.t
+val c_sigma : t -> float
+
+val merged_breakpoints : t -> vds:float -> float array
+(** Sorted union of the source breakpoints and the drain breakpoints
+    (source breakpoints shifted by [-vds]). *)
+
+val residual : t -> qt:float -> vds:float -> float -> float
+(** [F(V) = C_Sigma V + Q_t - Q_S(V) - Q_D(V)]; strictly increasing in
+    [V]. *)
+
+val residual_poly : t -> qt:float -> vds:float -> float -> Cnt_numerics.Polynomial.t
+(** The polynomial equal to [F] on the breakpoint interval containing
+    the given point. *)
+
+val solve_stats : t -> qt:float -> vds:float -> stats
+(** Solve [F(V) = 0] in closed form, with diagnostics. *)
+
+val solve : t -> qt:float -> vds:float -> float
+(** The self-consistent voltage for terminal charge [qt] (C/m) and
+    drain bias [vds] (V). *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Buffer Charge_fit Cnt_core Cnt_model Cnt_physics Device Fettoy List Model_tuning Printf

@@ -1,0 +1,1 @@
+lib/experiments/experimental.ml: Array Buffer Cnt_core Cnt_model Cnt_numerics Cnt_physics Device Fettoy Float Grid List Printf Stats Workloads

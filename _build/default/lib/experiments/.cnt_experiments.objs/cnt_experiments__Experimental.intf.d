@@ -1,0 +1,1 @@
+lib/experiments/experimental.mli: Cnt_physics Device Fettoy

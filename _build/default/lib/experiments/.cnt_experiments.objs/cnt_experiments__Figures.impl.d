@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Ascii_plot Buffer Charge Cnt_core Cnt_model Cnt_numerics Cnt_physics Device Experimental Grid List Piecewise Printf Workloads

@@ -1,0 +1,1 @@
+lib/experiments/repro.ml: Ablations Experimental Figures Filename Lazy List Printf Rms_tables String Sys Timing Variation Workloads

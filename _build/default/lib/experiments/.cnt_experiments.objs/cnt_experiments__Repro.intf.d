@@ -1,0 +1,1 @@
+lib/experiments/repro.mli:

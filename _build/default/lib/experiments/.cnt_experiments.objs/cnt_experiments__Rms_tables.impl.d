@@ -1,0 +1,1 @@
+lib/experiments/rms_tables.ml: Buffer Cnt_numerics Float List Printf Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/rms_tables.mli: Workloads

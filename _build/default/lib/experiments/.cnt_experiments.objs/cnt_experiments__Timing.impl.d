@@ -1,0 +1,1 @@
+lib/experiments/timing.ml: Array Buffer List Printf Unix Workloads

@@ -1,0 +1,1 @@
+lib/experiments/variation.ml: Array Buffer Charge_fit Cnt_core Cnt_model Cnt_numerics Cnt_physics Device Float Printf Prng Stats

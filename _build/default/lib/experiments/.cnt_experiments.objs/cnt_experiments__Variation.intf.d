@@ -1,0 +1,1 @@
+lib/experiments/variation.mli: Cnt_physics Device

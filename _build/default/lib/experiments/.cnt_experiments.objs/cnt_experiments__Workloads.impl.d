@@ -1,0 +1,1 @@
+lib/experiments/workloads.ml: Array Charge_fit Cnt_core Cnt_model Cnt_numerics Cnt_physics Device Fettoy Grid List Model_tuning

@@ -1,0 +1,1 @@
+lib/experiments/workloads.mli: Cnt_core Cnt_model Cnt_physics Device Fettoy

@@ -1,0 +1,125 @@
+(* Ablation studies of the design choices DESIGN.md calls out:
+
+   1. boundary placement — the paper's printed offsets taken verbatim
+      vs numerically re-optimised offsets (the paper's methodology
+      applied to this library's exactly-integrated reference);
+   2. piece count — the paper's "more sections for higher accuracy"
+      trade-off, as an experiment rather than an example;
+   3. sample weighting — uniform vs relative least squares;
+   4. tail policy — the paper's exact-zero final region vs the
+      asymptotic -q N0/2 constant, evaluated where it matters
+      (E_F = 0). *)
+
+open Cnt_physics
+open Cnt_core
+
+type row = {
+  label : string;
+  charge_rms : float; (* fraction *)
+  current_rms : float; (* mean over the bias grid, fraction *)
+}
+
+let grid = Model_tuning.default_grid
+
+let current_error ~reference model =
+  Model_tuning.current_error ~grid ~reference model
+
+(* Evaluate one spec on one device against a shared reference surface. *)
+let evaluate ~device ~reference ~label spec =
+  let model = Cnt_model.make ~spec device in
+  {
+    label;
+    charge_rms = Cnt_model.charge_rms model;
+    current_rms = current_error ~reference model;
+  }
+
+let boundary_ablation ?(device = Device.default) () =
+  let reference = Model_tuning.reference_surface ~grid (Fettoy.create device) in
+  let ev = evaluate ~device ~reference in
+  let tuned label spec =
+    let refined, model, err = Model_tuning.optimise_for_current ~grid device spec in
+    ignore refined;
+    { label; charge_rms = Cnt_model.charge_rms model; current_rms = err }
+  in
+  [
+    ev ~label:"model1 paper offsets" Charge_fit.model1_paper_spec;
+    ev ~label:"model1 recalibrated" Charge_fit.model1_spec;
+    tuned "model1 current-tuned" Charge_fit.model1_spec;
+    ev ~label:"model2 paper offsets" Charge_fit.model2_paper_spec;
+    ev ~label:"model2 recalibrated" Charge_fit.model2_spec;
+    tuned "model2 current-tuned" Charge_fit.model2_spec;
+  ]
+
+let piece_count_ablation ?(device = Device.default) () =
+  let configurations =
+    [
+      ("2 pieces (lin/zero)", [| 0.02 |], [| 1 |]);
+      ("3 pieces (Model 1)", [| 0.0006; 0.0837 |], [| 1; 2 |]);
+      ("4 pieces (Model 2)", [| -0.2193; -0.0146; 0.1224 |], [| 1; 2; 3 |]);
+      ("5 pieces", [| -0.3; -0.15; -0.02; 0.1 |], [| 1; 2; 3; 3 |]);
+      ("6 pieces", [| -0.35; -0.22; -0.1; -0.01; 0.1 |], [| 1; 2; 3; 3; 3 |]);
+    ]
+  in
+  List.map
+    (fun (label, offsets, degrees) ->
+      let spec = Charge_fit.spec ~window:0.25 ~offsets ~degrees () in
+      let _, model, err = Model_tuning.optimise_for_current ~grid device spec in
+      { label; charge_rms = Cnt_model.charge_rms model; current_rms = err })
+    configurations
+
+let weighting_ablation ?(device = Device.default) () =
+  let reference = Model_tuning.reference_surface ~grid (Fettoy.create device) in
+  let base = Charge_fit.model2_spec in
+  List.map
+    (fun (label, weighting) ->
+      let spec =
+        Charge_fit.spec ~window:base.Charge_fit.window ~weighting
+          ~offsets:base.Charge_fit.offsets ~degrees:base.Charge_fit.degrees ()
+      in
+      evaluate ~device ~reference ~label spec)
+    [
+      ("uniform weighting", Charge_fit.Uniform);
+      ("relative, 2% floor", Charge_fit.Relative 0.02);
+      ("relative, 5% floor", Charge_fit.Relative 0.05);
+      ("relative, 20% floor", Charge_fit.Relative 0.2);
+    ]
+
+let tail_ablation ?(device = Device.create ~fermi:0.0 ()) () =
+  let reference = Model_tuning.reference_surface ~grid (Fettoy.create device) in
+  let base = Charge_fit.model2_spec in
+  List.map
+    (fun (label, tail) ->
+      let spec =
+        Charge_fit.spec ~window:base.Charge_fit.window
+          ~weighting:base.Charge_fit.weighting ~tail
+          ~offsets:base.Charge_fit.offsets ~degrees:base.Charge_fit.degrees ()
+      in
+      evaluate ~device ~reference ~label spec)
+    [
+      ("zero tail (paper)", Charge_fit.Zero);
+      ("asymptotic tail (-qN0/2)", Charge_fit.Asymptotic);
+    ]
+
+let to_string ~title rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %14s %14s\n" "configuration" "charge RMS" "current RMS");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %13.2f%% %13.2f%%\n" r.label (100.0 *. r.charge_rms)
+           (100.0 *. r.current_rms)))
+    rows;
+  Buffer.contents buf
+
+let to_csv rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "configuration,charge_rms_pct,current_rms_pct\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%.4f,%.4f\n" r.label (100.0 *. r.charge_rms)
+           (100.0 *. r.current_rms)))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Ablations of the design choices DESIGN.md calls out: boundary
+    placement, piece count, least-squares weighting, and the zero-tail
+    vs asymptotic-tail policy. *)
+
+open Cnt_physics
+
+type row = {
+  label : string;
+  charge_rms : float;  (** charge-curve relative RMS, fraction *)
+  current_rms : float;  (** mean drain-current relative RMS, fraction *)
+}
+
+val boundary_ablation : ?device:Device.t -> unit -> row list
+(** Paper-printed vs recalibrated vs current-tuned boundary offsets for
+    both models. *)
+
+val piece_count_ablation : ?device:Device.t -> unit -> row list
+(** Accuracy vs number of pieces (2..6), all current-tuned. *)
+
+val weighting_ablation : ?device:Device.t -> unit -> row list
+(** Uniform vs relative least-squares weighting on Model 2. *)
+
+val tail_ablation : ?device:Device.t -> unit -> row list
+(** Zero vs asymptotic final region at [E_F = 0], where they differ. *)
+
+val to_string : title:string -> row list -> string
+val to_csv : row list -> string

@@ -1,0 +1,79 @@
+(* Minimal ASCII line plots for rendering the paper's figures in a
+   terminal.  Several series share one canvas; each series gets its own
+   marker character. *)
+
+type series = {
+  label : string;
+  marker : char;
+  xs : float array;
+  ys : float array;
+}
+
+let series ?(marker = '*') ~label xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Ascii_plot.series: length mismatch";
+  { label; marker; xs; ys }
+
+let default_markers = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '~' |]
+
+let nice_bounds lo hi =
+  if lo = hi then (lo -. 1.0, hi +. 1.0) else (lo, hi)
+
+let render ?(width = 72) ?(height = 24) ?(title = "") ss =
+  if ss = [] then invalid_arg "Ascii_plot.render: no series";
+  let all_x = Array.concat (List.map (fun s -> s.xs) ss) in
+  let all_y = Array.concat (List.map (fun s -> s.ys) ss) in
+  if Array.length all_x = 0 then invalid_arg "Ascii_plot.render: empty series";
+  let xmin, xmax =
+    nice_bounds
+      (Array.fold_left Float.min all_x.(0) all_x)
+      (Array.fold_left Float.max all_x.(0) all_x)
+  in
+  let ymin, ymax =
+    nice_bounds
+      (Array.fold_left Float.min all_y.(0) all_y)
+      (Array.fold_left Float.max all_y.(0) all_y)
+  in
+  let grid = Array.make_matrix height width ' ' in
+  let col_of x =
+    int_of_float (Float.round ((x -. xmin) /. (xmax -. xmin) *. float_of_int (width - 1)))
+  in
+  let row_of y =
+    (height - 1)
+    - int_of_float
+        (Float.round ((y -. ymin) /. (ymax -. ymin) *. float_of_int (height - 1)))
+  in
+  List.iter
+    (fun s ->
+      Array.iteri
+        (fun i x ->
+          let c = col_of x and r = row_of s.ys.(i) in
+          if c >= 0 && c < width && r >= 0 && r < height then grid.(r).(c) <- s.marker)
+        s.xs)
+    ss;
+  let buf = Buffer.create (height * (width + 16)) in
+  if title <> "" then Buffer.add_string buf (title ^ "\n");
+  Array.iteri
+    (fun r line ->
+      (* y-axis label on the top, middle and bottom rows *)
+      let label =
+        if r = 0 then Printf.sprintf "%10.3g |" ymax
+        else if r = height - 1 then Printf.sprintf "%10.3g |" ymin
+        else if r = height / 2 then Printf.sprintf "%10.3g |" (0.5 *. (ymin +. ymax))
+        else Printf.sprintf "%10s |" ""
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.init width (fun c -> line.(c)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "%10s  %-10.3g%*s%10.3g\n" "" xmin (width - 20) "" xmax);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "%12s = %s\n" (String.make 1 s.marker) s.label))
+    ss;
+  Buffer.contents buf
+
+let print ?width ?height ?title ss =
+  print_string (render ?width ?height ?title ss)

@@ -1,0 +1,14 @@
+(** Minimal multi-series ASCII line plots used to render the paper's
+    figures in a terminal. *)
+
+type series
+
+val series : ?marker:char -> label:string -> float array -> float array -> series
+
+val default_markers : char array
+
+val render :
+  ?width:int -> ?height:int -> ?title:string -> series list -> string
+(** Render series onto a shared canvas with axis extents and a legend. *)
+
+val print : ?width:int -> ?height:int -> ?title:string -> series list -> unit

@@ -1,0 +1,164 @@
+(* Synthetic stand-in for the measured device of the paper's section
+   VI (Javey et al. 2005: K-doped n-type CNFET, d = 1.6 nm, t_ox =
+   50 nm back gate, E_F = -0.05 eV, T = 300 K).
+
+   The published measurement is not available in machine-readable form,
+   so we synthesise "experimental" curves by degrading the ballistic
+   theory with the non-idealities a real contact-doped device shows
+   relative to ballistic transport:
+
+     - a transmission factor below one (scattering at the doped
+       contacts),
+     - contact series resistance, applied self-consistently
+       (I = t0 * I_ballistic(V_GS, V_DS - I*Rs)),
+     - a deterministic measurement ripple.
+
+   Parameters are calibrated so the FETToy-vs-"experiment" RMS
+   discrepancy lands in the 7-9 % band the paper reports (Table V);
+   the comparison's structure — all three models tracking the data to
+   about 10 %, the piecewise models slightly farther than the
+   reference they approximate — is what section VI demonstrates.  The
+   generator is deterministic, so the tables and tests are exactly
+   reproducible. *)
+
+open Cnt_numerics
+open Cnt_physics
+open Cnt_core
+
+type generator = {
+  transmission : float; (* at zero gate bias *)
+  transmission_slope : float; (* per volt of V_GS: contact scattering
+                                 weakens with gate overdrive, so the
+                                 ballistic theory overestimates low-V_G
+                                 currents the most (the paper's Table V
+                                 errors shrink as V_G rises) *)
+  series_resistance : float; (* Ohms *)
+  ripple_amplitude : float; (* fraction *)
+  ripple_period : float; (* V *)
+}
+
+let default_generator =
+  {
+    transmission = 0.91;
+    transmission_slope = 0.07;
+    series_resistance = 0.5e3;
+    ripple_amplitude = 0.02;
+    ripple_period = 0.21;
+  }
+
+(* The V_DS grid of the paper's figures 10-11 (0..0.4 V). *)
+let vds_points = Grid.linspace 0.0 0.4 41
+
+(* Gate voltages of the figures (0..0.6 V) and of Table V (0.2..0.6). *)
+let figure_vgs = [ 0.0; 0.2; 0.4; 0.6 ]
+let table_vgs = [ 0.2; 0.4; 0.6 ]
+
+(* Measured current at a bias point: degrade the ballistic reference
+   and superimpose the deterministic ripple. *)
+let measure ?(gen = default_generator) reference ~vgs ~vds =
+  let transmission =
+    Float.min 1.0 (gen.transmission +. (gen.transmission_slope *. vgs))
+  in
+  (* series resistance: fixed-point on the intrinsic drain voltage *)
+  let current = ref (transmission *. Fettoy.ids reference ~vgs ~vds) in
+  for _ = 1 to 12 do
+    let v_intrinsic = Float.max 0.0 (vds -. (!current *. gen.series_resistance)) in
+    current := transmission *. Fettoy.ids reference ~vgs ~vds:v_intrinsic
+  done;
+  let ripple =
+    1.0
+    +. gen.ripple_amplitude
+       *. sin ((2.0 *. Float.pi *. vds /. gen.ripple_period) +. (9.0 *. vgs))
+  in
+  !current *. ripple
+
+let measured_curve ?gen reference ~vgs =
+  Array.map (fun vds -> measure ?gen reference ~vgs ~vds) vds_points
+
+type comparison = {
+  vgs : float;
+  measured : float array;
+  reference : float array; (* FETToy prediction *)
+  model1 : float array;
+  model2 : float array;
+}
+
+type result = {
+  device : Device.t;
+  comparisons : comparison list; (* one per gate voltage *)
+}
+
+(* Build the Javey-device models and compare everything against the
+   synthetic measurement over the figure V_DS grid. *)
+let run ?gen ?(vgs_list = figure_vgs) ?(tuned = true) () =
+  let device = Device.javey in
+  let models = Workloads.build ~tuned device in
+  let comparisons =
+    List.map
+      (fun vgs ->
+        {
+          vgs;
+          measured = measured_curve ?gen models.Workloads.reference ~vgs;
+          reference =
+            Array.map
+              (fun vds -> Fettoy.ids models.Workloads.reference ~vgs ~vds)
+              vds_points;
+          model1 =
+            Array.map
+              (fun vds -> Cnt_model.ids models.Workloads.model1 ~vgs ~vds)
+              vds_points;
+          model2 =
+            Array.map
+              (fun vds -> Cnt_model.ids models.Workloads.model2 ~vgs ~vds)
+              vds_points;
+        })
+      vgs_list
+  in
+  { device; comparisons }
+
+(* Table V: RMS error of each model against the measurement. *)
+type table_row = {
+  row_vgs : float;
+  fettoy_error : float;
+  model1_error : float;
+  model2_error : float;
+}
+
+let table ?gen ?(vgs_list = table_vgs) ?tuned () =
+  let r = run ?gen ~vgs_list ?tuned () in
+  List.map
+    (fun c ->
+      {
+        row_vgs = c.vgs;
+        fettoy_error = Stats.relative_rms_error c.measured c.reference;
+        model1_error = Stats.relative_rms_error c.measured c.model1;
+        model2_error = Stats.relative_rms_error c.measured c.model2;
+      })
+    r.comparisons
+
+let table_to_string rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Average RMS errors vs (synthetic) experimental data, d=1.6nm tox=50nm \
+     T=300K EF=-0.05eV (percent)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-8s %10s %10s %10s\n" "VG[V]" "FETToy" "Model 1" "Model 2");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-8.1f %10.1f %10.1f %10.1f\n" r.row_vgs
+           (100.0 *. r.fettoy_error) (100.0 *. r.model1_error)
+           (100.0 *. r.model2_error)))
+    rows;
+  Buffer.contents buf
+
+let table_to_csv rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "vgs_v,fettoy_rms_pct,model1_rms_pct,model2_rms_pct\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%g,%.4f,%.4f,%.4f\n" r.row_vgs (100.0 *. r.fettoy_error)
+           (100.0 *. r.model1_error) (100.0 *. r.model2_error)))
+    rows;
+  Buffer.contents buf

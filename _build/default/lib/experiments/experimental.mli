@@ -1,0 +1,61 @@
+(** Section VI / Table V / figures 10-11: comparison against a
+    deterministic synthetic stand-in for the Javey et al. 2005 measured
+    device (transmission < 1, contact series resistance, measurement
+    ripple applied to the ballistic theory).  See DESIGN.md section 4
+    for the substitution rationale. *)
+
+open Cnt_physics
+
+type generator = {
+  transmission : float;  (** transmission factor at zero gate bias *)
+  transmission_slope : float;
+      (** transmission increase per volt of V_GS (contact scattering
+          weakens with gate overdrive) *)
+  series_resistance : float;  (** contact resistance, Ohms *)
+  ripple_amplitude : float;  (** measurement ripple, fraction *)
+  ripple_period : float;  (** ripple period in V_DS, Volts *)
+}
+
+val default_generator : generator
+
+val vds_points : float array
+(** 0..0.4 V, the drain range of figures 10-11. *)
+
+val figure_vgs : float list
+val table_vgs : float list
+
+val measure :
+  ?gen:generator -> Fettoy.t -> vgs:float -> vds:float -> float
+(** One synthetic measured current (deterministic). *)
+
+val measured_curve : ?gen:generator -> Fettoy.t -> vgs:float -> float array
+
+type comparison = {
+  vgs : float;
+  measured : float array;
+  reference : float array;
+  model1 : float array;
+  model2 : float array;
+}
+
+type result = {
+  device : Device.t;
+  comparisons : comparison list;
+}
+
+val run :
+  ?gen:generator -> ?vgs_list:float list -> ?tuned:bool -> unit -> result
+
+type table_row = {
+  row_vgs : float;
+  fettoy_error : float;
+  model1_error : float;
+  model2_error : float;
+}
+
+val table :
+  ?gen:generator -> ?vgs_list:float list -> ?tuned:bool -> unit -> table_row list
+(** Table V rows. *)
+
+val table_to_string : table_row list -> string
+val table_to_csv : table_row list -> string

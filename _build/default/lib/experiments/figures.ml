@@ -1,0 +1,221 @@
+(* Data generators for every figure of the paper.  Each figure is a
+   set of named (x, y) series; rendering to CSV or an ASCII canvas is
+   uniform. *)
+
+open Cnt_numerics
+open Cnt_physics
+open Cnt_core
+
+type figure = {
+  id : string;
+  title : string;
+  x_label : string;
+  y_label : string;
+  series : (string * float array * float array) list;
+}
+
+let to_csv fig =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# %s: %s\n" fig.id fig.title);
+  List.iter
+    (fun (label, xs, ys) ->
+      Buffer.add_string buf (Printf.sprintf "%s_%s,%s_%s\n" fig.x_label label fig.y_label label);
+      Array.iteri
+        (fun i x -> Buffer.add_string buf (Printf.sprintf "%.9g,%.9g\n" x ys.(i)))
+        xs)
+    fig.series;
+  Buffer.contents buf
+
+let to_ascii ?(width = 72) ?(height = 22) fig =
+  let markers = Ascii_plot.default_markers in
+  let ss =
+    List.mapi
+      (fun i (label, xs, ys) ->
+        Ascii_plot.series ~marker:markers.(i mod Array.length markers) ~label xs ys)
+      fig.series
+  in
+  Ascii_plot.render ~width ~height
+    ~title:(Printf.sprintf "%s: %s  [x: %s, y: %s]" fig.id fig.title fig.x_label fig.y_label)
+    ss
+
+(* ------------------------------------------------------------------ *)
+(* Figures 2 and 3: the fitted charge approximation, one series per    *)
+(* piecewise region, plus the theoretical curve.                       *)
+(* ------------------------------------------------------------------ *)
+
+let charge_pieces_figure ~id ~title model =
+  let device = Cnt_model.device model in
+  let profile = Device.charge_profile device in
+  let n0 = Charge.equilibrium profile in
+  let approx = Cnt_model.charge_approx model in
+  let bounds = Piecewise.boundaries approx in
+  let k = Array.length bounds in
+  let lo = bounds.(0) -. 0.25 and hi = bounds.(k - 1) +. 0.12 in
+  let theory_xs = Grid.linspace lo hi 120 in
+  let theory_ys = Array.map (fun v -> Charge.qs ~n0 profile v) theory_xs in
+  let region_series =
+    List.init (k + 1) (fun i ->
+        let rlo = if i = 0 then lo else bounds.(i - 1) in
+        let rhi = if i = k then hi else bounds.(i) in
+        let xs = Grid.linspace rlo rhi 30 in
+        let ys = Array.map (Piecewise.eval approx) xs in
+        let label =
+          if i = 0 then Printf.sprintf "region1 (VSC <= %.3f)" bounds.(0)
+          else if i = k then Printf.sprintf "region%d (VSC > %.3f)" (k + 1) bounds.(k - 1)
+          else Printf.sprintf "region%d (%.3f < VSC <= %.3f)" (i + 1) bounds.(i - 1) bounds.(i)
+        in
+        (label, xs, ys))
+  in
+  {
+    id;
+    title;
+    x_label = "VSC_V";
+    y_label = "QS_C_per_m";
+    series = ("theory", theory_xs, theory_ys) :: region_series;
+  }
+
+let fig2 ?(models : Workloads.models option) () =
+  let m =
+    match models with
+    | Some ms -> ms.Workloads.model1
+    | None -> Cnt_model.model1 ()
+  in
+  charge_pieces_figure ~id:"fig2" ~title:"Model 1 three-piece charge approximation" m
+
+let fig3 ?(models : Workloads.models option) () =
+  let m =
+    match models with
+    | Some ms -> ms.Workloads.model2
+    | None -> Cnt_model.model2 ()
+  in
+  charge_pieces_figure ~id:"fig3" ~title:"Model 2 four-piece charge approximation" m
+
+(* ------------------------------------------------------------------ *)
+(* Figures 4 and 5: source and drain charge curves, theory vs model.   *)
+(* ------------------------------------------------------------------ *)
+
+let charge_vs_theory_figure ~id ~title ~vds model =
+  let device = Cnt_model.device model in
+  let profile = Device.charge_profile device in
+  let n0 = Charge.equilibrium profile in
+  let approx = Cnt_model.charge_approx model in
+  let fermi = device.Device.fermi in
+  let xs = Grid.linspace (fermi -. 0.3) 0.0 120 in
+  let qs_theory = Array.map (fun v -> Charge.qs ~n0 profile v) xs in
+  let qd_theory = Array.map (fun v -> Charge.qd ~n0 profile ~vds v) xs in
+  let qs_fit = Array.map (Piecewise.eval approx) xs in
+  let qd_fit = Array.map (fun v -> Piecewise.eval approx (v +. vds)) xs in
+  {
+    id;
+    title;
+    x_label = "VSC_V";
+    y_label = "Q_C_per_m";
+    series =
+      [
+        ("QS_theory", xs, qs_theory);
+        ("QS_model", xs, qs_fit);
+        ("QD_theory", xs, qd_theory);
+        ("QD_model", xs, qd_fit);
+      ];
+  }
+
+let fig4 ?(vds = 0.2) ?(models : Workloads.models option) () =
+  let m =
+    match models with Some ms -> ms.Workloads.model1 | None -> Cnt_model.model1 ()
+  in
+  charge_vs_theory_figure ~id:"fig4"
+    ~title:"QS/QD at T=300K, EF=-0.32eV: theory vs Model 1" ~vds m
+
+let fig5 ?(vds = 0.2) ?(models : Workloads.models option) () =
+  let m =
+    match models with Some ms -> ms.Workloads.model2 | None -> Cnt_model.model2 ()
+  in
+  charge_vs_theory_figure ~id:"fig5"
+    ~title:"QS/QD at T=300K, EF=-0.32eV: theory vs Model 2" ~vds m
+
+(* ------------------------------------------------------------------ *)
+(* Figures 6-9: output characteristic families, reference vs model.    *)
+(* ------------------------------------------------------------------ *)
+
+let family_figure ~id ~title ~vgs_list models which =
+  let model =
+    match which with
+    | `Model1 -> models.Workloads.model1
+    | `Model2 -> models.Workloads.model2
+  in
+  let series =
+    List.concat_map
+      (fun vgs ->
+        let reference = Workloads.reference_curve models ~vgs in
+        let fitted = Workloads.model_curve model ~vgs in
+        [
+          (Printf.sprintf "ref_VG%.2f" vgs, Workloads.vds_points, reference);
+          (Printf.sprintf "model_VG%.2f" vgs, Workloads.vds_points, fitted);
+        ])
+      vgs_list
+  in
+  { id; title; x_label = "VDS_V"; y_label = "IDS_A"; series }
+
+let fig6 ?models () =
+  let models =
+    match models with Some m -> m | None -> Workloads.condition ~temp:300.0 ~fermi:(-0.32) ()
+  in
+  family_figure ~id:"fig6"
+    ~title:"IDS characteristics, T=300K EF=-0.32eV: reference vs Model 1"
+    ~vgs_list:Workloads.family_vgs models `Model1
+
+let fig7 ?models () =
+  let models =
+    match models with Some m -> m | None -> Workloads.condition ~temp:300.0 ~fermi:(-0.32) ()
+  in
+  family_figure ~id:"fig7"
+    ~title:"IDS characteristics, T=300K EF=-0.32eV: reference vs Model 2"
+    ~vgs_list:Workloads.family_vgs models `Model2
+
+let fig8 ?models () =
+  let models =
+    match models with Some m -> m | None -> Workloads.condition ~temp:150.0 ~fermi:0.0 ()
+  in
+  family_figure ~id:"fig8"
+    ~title:"IDS characteristics, T=150K EF=0eV: reference vs Model 2"
+    ~vgs_list:[ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6 ] models `Model2
+
+let fig9 ?models () =
+  let models =
+    match models with Some m -> m | None -> Workloads.condition ~temp:450.0 ~fermi:(-0.5) ()
+  in
+  family_figure ~id:"fig9"
+    ~title:"IDS characteristics, T=450K EF=-0.5eV: reference vs Model 2"
+    ~vgs_list:[ 0.4; 0.45; 0.5; 0.55; 0.6 ] models `Model2
+
+(* ------------------------------------------------------------------ *)
+(* Figures 10-11: comparison with the synthetic experimental data.     *)
+(* ------------------------------------------------------------------ *)
+
+let experimental_figure ~id ~title which (r : Experimental.result) =
+  let series =
+    List.concat_map
+      (fun (c : Experimental.comparison) ->
+        let model =
+          match which with
+          | `Model1 -> c.Experimental.model1
+          | `Model2 -> c.Experimental.model2
+        in
+        [
+          (Printf.sprintf "exp_VG%.1f" c.Experimental.vgs, Experimental.vds_points, c.Experimental.measured);
+          (Printf.sprintf "fettoy_VG%.1f" c.Experimental.vgs, Experimental.vds_points, c.Experimental.reference);
+          (Printf.sprintf "model_VG%.1f" c.Experimental.vgs, Experimental.vds_points, model);
+        ])
+      r.Experimental.comparisons
+  in
+  { id; title; x_label = "VDS_V"; y_label = "IDS_A"; series }
+
+let fig10 ?result () =
+  let r = match result with Some r -> r | None -> Experimental.run () in
+  experimental_figure ~id:"fig10"
+    ~title:"Javey-device comparison: experiment vs FETToy vs Model 1" `Model1 r
+
+let fig11 ?result () =
+  let r = match result with Some r -> r | None -> Experimental.run () in
+  experimental_figure ~id:"fig11"
+    ~title:"Javey-device comparison: experiment vs FETToy vs Model 2" `Model2 r

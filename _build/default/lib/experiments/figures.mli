@@ -1,0 +1,43 @@
+(** Data generators for every figure in the paper, with uniform CSV and
+    ASCII rendering. *)
+
+type figure = {
+  id : string;
+  title : string;
+  x_label : string;
+  y_label : string;
+  series : (string * float array * float array) list;
+}
+
+val to_csv : figure -> string
+val to_ascii : ?width:int -> ?height:int -> figure -> string
+
+val fig2 : ?models:Workloads.models -> unit -> figure
+(** Model 1 charge approximation by region (paper fig. 2). *)
+
+val fig3 : ?models:Workloads.models -> unit -> figure
+(** Model 2 charge approximation by region (paper fig. 3). *)
+
+val fig4 : ?vds:float -> ?models:Workloads.models -> unit -> figure
+(** Q_S/Q_D theory vs Model 1 (paper fig. 4). *)
+
+val fig5 : ?vds:float -> ?models:Workloads.models -> unit -> figure
+(** Q_S/Q_D theory vs Model 2 (paper fig. 5). *)
+
+val fig6 : ?models:Workloads.models -> unit -> figure
+(** Output family, reference vs Model 1 at 300 K / -0.32 eV. *)
+
+val fig7 : ?models:Workloads.models -> unit -> figure
+(** Output family, reference vs Model 2 at 300 K / -0.32 eV. *)
+
+val fig8 : ?models:Workloads.models -> unit -> figure
+(** Output family, reference vs Model 2 at 150 K / 0 eV. *)
+
+val fig9 : ?models:Workloads.models -> unit -> figure
+(** Output family, reference vs Model 2 at 450 K / -0.5 eV. *)
+
+val fig10 : ?result:Experimental.result -> unit -> figure
+(** Synthetic-experiment comparison with Model 1 (paper fig. 10). *)
+
+val fig11 : ?result:Experimental.result -> unit -> figure
+(** Synthetic-experiment comparison with Model 2 (paper fig. 11). *)

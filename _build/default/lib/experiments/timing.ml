@@ -1,0 +1,96 @@
+(* Table I: CPU-time comparison.  The workload is the paper's: a full
+   family of output characteristics (7 gate voltages x 61 drain
+   points), invoked 5, 10, 50 and 100 times; model construction
+   (fitting) is excluded, matching the paper's measurement of model
+   evaluation time. *)
+
+type row = {
+  loops : int;
+  reference_seconds : float;
+  model1_seconds : float;
+  model2_seconds : float;
+}
+
+type result = {
+  rows : row list;
+  model1_speedup : float; (* at the largest loop count *)
+  model2_speedup : float;
+}
+
+let wall_clock f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* Run the family workload [loops] times and return the elapsed wall
+   time.  [sink] defeats dead-code elimination. *)
+let time_workload ~loops run =
+  let sink = ref 0.0 in
+  let dt =
+    wall_clock (fun () ->
+        for _ = 1 to loops do
+          List.iter (fun (_, curve) -> sink := !sink +. curve.(0)) (run ())
+        done)
+  in
+  ignore !sink;
+  dt
+
+(* The reference cost is measured at a reduced loop count and scaled
+   linearly when [calibrated_loops] is below the requested loops: a
+   full 100-loop FETToy run is minutes of pure quadrature, and the
+   workload cost is linear in the loop count by construction. *)
+let measure ?(loop_counts = [ 5; 10; 50; 100 ]) ?(reference_cap = 5) models =
+  let reference_once () = Workloads.reference_family models in
+  let m1 () = Workloads.model_family models.Workloads.model1 in
+  let m2 () = Workloads.model_family models.Workloads.model2 in
+  (* warm-up to populate any lazy state before timing *)
+  ignore (m1 ());
+  ignore (m2 ());
+  let ref_cap_loops = min reference_cap (List.fold_left max 1 loop_counts) in
+  let ref_time_per_loop =
+    time_workload ~loops:ref_cap_loops reference_once /. float_of_int ref_cap_loops
+  in
+  let rows =
+    List.map
+      (fun loops ->
+        {
+          loops;
+          reference_seconds = ref_time_per_loop *. float_of_int loops;
+          model1_seconds = time_workload ~loops m1;
+          model2_seconds = time_workload ~loops m2;
+        })
+      loop_counts
+  in
+  let last = List.nth rows (List.length rows - 1) in
+  {
+    rows;
+    model1_speedup = last.reference_seconds /. last.model1_seconds;
+    model2_speedup = last.reference_seconds /. last.model2_seconds;
+  }
+
+let to_string r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Average CPU time comparison (seconds)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-8s %14s %14s %14s\n" "Loops" "Reference" "Model 1" "Model 2");
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-8d %14.4f %14.6f %14.6f\n" row.loops
+           row.reference_seconds row.model1_seconds row.model2_seconds))
+    r.rows;
+  Buffer.add_string buf
+    (Printf.sprintf "Speed-up at the largest loop count: Model 1 %.0fx, Model 2 %.0fx\n"
+       r.model1_speedup r.model2_speedup);
+  Buffer.contents buf
+
+let to_csv r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "loops,reference_s,model1_s,model2_s\n";
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%.6f,%.6f,%.6f\n" row.loops row.reference_seconds
+           row.model1_seconds row.model2_seconds))
+    r.rows;
+  Buffer.contents buf

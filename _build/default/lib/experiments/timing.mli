@@ -1,0 +1,27 @@
+(** Table I: CPU-time comparison of the reference model against both
+    piecewise models on the paper's characteristic-family workload. *)
+
+type row = {
+  loops : int;
+  reference_seconds : float;
+  model1_seconds : float;
+  model2_seconds : float;
+}
+
+type result = {
+  rows : row list;
+  model1_speedup : float;
+  model2_speedup : float;
+}
+
+val wall_clock : (unit -> unit) -> float
+
+val measure :
+  ?loop_counts:int list -> ?reference_cap:int -> Workloads.models -> result
+(** Time the workload at each loop count.  The reference cost is
+    measured at up to [reference_cap] loops and scaled linearly (the
+    workload is loop-independent by construction); the fast models are
+    always timed in full. *)
+
+val to_string : result -> string
+val to_csv : result -> string

@@ -1,0 +1,1 @@
+lib/numerics/complex_linalg.ml: Array Complex Float Linalg Printf

@@ -1,0 +1,1 @@
+lib/numerics/complex_linalg.mli: Complex Linalg

@@ -1,0 +1,1 @@
+lib/numerics/polynomial.ml: Array Buffer Complex Float Format List Printf Special

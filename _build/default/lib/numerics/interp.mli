@@ -1,0 +1,29 @@
+(** Piecewise-linear and PCHIP (monotone cubic Hermite) interpolation
+    over tabulated samples. *)
+
+exception Bad_table of string
+
+type t
+
+val linear : float array -> float array -> t
+(** Piecewise-linear interpolant; abscissae must be strictly
+    increasing. *)
+
+val pchip : float array -> float array -> t
+(** Fritsch-Carlson monotone cubic interpolant: C1, and monotone on
+    every interval where the data are monotone. *)
+
+val of_function :
+  ?kind:[ `Linear | `Pchip ] -> (float -> float) -> float -> float -> int -> t
+(** Tabulate a function on [n] uniform points of [[a, b]] and wrap it
+    in an interpolant (default PCHIP). *)
+
+val domain : t -> float * float
+(** Endpoints of the table. *)
+
+val eval : t -> float -> float
+(** Evaluate; arguments outside the table extrapolate with the boundary
+    segment. *)
+
+val eval_derivative : t -> float -> float
+(** First derivative of the interpolant. *)

@@ -1,0 +1,121 @@
+(* Explicit ODE integrators for vector-valued initial-value problems.
+   The circuit transient engine has its own implicit integrators; these
+   explicit ones serve device-physics side calculations and tests. *)
+
+type system = float -> float array -> float array
+(* [f t y] returns dy/dt *)
+
+let axpy alpha x y = Array.mapi (fun i yi -> yi +. (alpha *. x.(i))) y
+
+(* One classical Runge-Kutta 4 step from (t, y) with step h. *)
+let rk4_step f t y h =
+  let k1 = f t y in
+  let k2 = f (t +. (0.5 *. h)) (axpy (0.5 *. h) k1 y) in
+  let k3 = f (t +. (0.5 *. h)) (axpy (0.5 *. h) k2 y) in
+  let k4 = f (t +. h) (axpy h k3 y) in
+  Array.mapi
+    (fun i yi -> yi +. (h /. 6.0 *. (k1.(i) +. (2.0 *. k2.(i)) +. (2.0 *. k3.(i)) +. k4.(i))))
+    y
+
+(* Fixed-step RK4 from t0 to t1 in n steps; returns the trajectory
+   including both endpoints. *)
+let rk4 f ~t0 ~t1 ~y0 ~steps =
+  if steps <= 0 then invalid_arg "Ode.rk4: steps must be positive";
+  let h = (t1 -. t0) /. float_of_int steps in
+  let out = Array.make (steps + 1) (t0, Array.copy y0) in
+  let y = ref (Array.copy y0) in
+  for i = 1 to steps do
+    let t = t0 +. (float_of_int (i - 1) *. h) in
+    y := rk4_step f t !y h;
+    out.(i) <- (t0 +. (float_of_int i *. h), Array.copy !y)
+  done;
+  out
+
+(* Runge-Kutta-Fehlberg 4(5) adaptive integration.  Returns the
+   accepted trajectory. *)
+let rkf45 ?(tol = 1e-9) ?(h0 = 1e-3) ?(h_min = 1e-14) ?(max_steps = 1_000_000) f
+    ~t0 ~t1 ~y0 =
+  let a2 = 0.25
+  and a3 = 3.0 /. 8.0
+  and a4 = 12.0 /. 13.0
+  and a6 = 0.5 in
+  let b21 = 0.25 in
+  let b31 = 3.0 /. 32.0 and b32 = 9.0 /. 32.0 in
+  let b41 = 1932.0 /. 2197.0
+  and b42 = -7200.0 /. 2197.0
+  and b43 = 7296.0 /. 2197.0 in
+  let b51 = 439.0 /. 216.0
+  and b52 = -8.0
+  and b53 = 3680.0 /. 513.0
+  and b54 = -845.0 /. 4104.0 in
+  let b61 = -8.0 /. 27.0
+  and b62 = 2.0
+  and b63 = -3544.0 /. 2565.0
+  and b64 = 1859.0 /. 4104.0
+  and b65 = -11.0 /. 40.0 in
+  (* 4th-order solution weights *)
+  let c1 = 25.0 /. 216.0
+  and c3 = 1408.0 /. 2565.0
+  and c4 = 2197.0 /. 4104.0
+  and c5 = -0.2 in
+  (* error weights: difference between 5th and 4th order solutions *)
+  let e1 = 1.0 /. 360.0
+  and e3 = -128.0 /. 4275.0
+  and e4 = -2197.0 /. 75240.0
+  and e5 = 1.0 /. 50.0
+  and e6 = 2.0 /. 55.0 in
+  let n = Array.length y0 in
+  let combine y ks ws =
+    Array.init n (fun i ->
+        y.(i) +. List.fold_left (fun acc (w, k) -> acc +. (w *. k.(i))) 0.0 (List.combine ws ks))
+  in
+  let traj = ref [ (t0, Array.copy y0) ] in
+  let t = ref t0 and y = ref (Array.copy y0) and h = ref h0 in
+  let steps = ref 0 in
+  while !t < t1 && !steps < max_steps do
+    incr steps;
+    if !t +. !h > t1 then h := t1 -. !t;
+    let hh = !h in
+    let k1 = f !t !y in
+    let k2 = f (!t +. (a2 *. hh)) (combine !y [ k1 ] [ b21 *. hh ]) in
+    let k3 = f (!t +. (a3 *. hh)) (combine !y [ k1; k2 ] [ b31 *. hh; b32 *. hh ]) in
+    let k4 =
+      f (!t +. (a4 *. hh)) (combine !y [ k1; k2; k3 ] [ b41 *. hh; b42 *. hh; b43 *. hh ])
+    in
+    let k5 =
+      f (!t +. hh)
+        (combine !y [ k1; k2; k3; k4 ] [ b51 *. hh; b52 *. hh; b53 *. hh; b54 *. hh ])
+    in
+    let k6 =
+      f
+        (!t +. (a6 *. hh))
+        (combine !y [ k1; k2; k3; k4; k5 ]
+           [ b61 *. hh; b62 *. hh; b63 *. hh; b64 *. hh; b65 *. hh ])
+    in
+    let err =
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        let e =
+          hh
+          *. ((e1 *. k1.(i)) +. (e3 *. k3.(i)) +. (e4 *. k4.(i)) +. (e5 *. k5.(i))
+             +. (e6 *. k6.(i)))
+        in
+        acc := Float.max !acc (Float.abs e)
+      done;
+      !acc
+    in
+    if err <= tol || hh <= h_min then begin
+      (* accept *)
+      y :=
+        combine !y [ k1; k3; k4; k5 ] [ c1 *. hh; c3 *. hh; c4 *. hh; c5 *. hh ];
+      t := !t +. hh;
+      traj := (!t, Array.copy !y) :: !traj
+    end;
+    (* step-size update with safety factor and growth clamps *)
+    let scale =
+      if err = 0.0 then 4.0
+      else Float.min 4.0 (Float.max 0.1 (0.9 *. Float.pow (tol /. err) 0.2))
+    in
+    h := Float.max h_min (hh *. scale)
+  done;
+  Array.of_list (List.rev !traj)

@@ -1,0 +1,29 @@
+(** Explicit ODE initial-value integrators. *)
+
+type system = float -> float array -> float array
+(** [f t y] returns the derivative [dy/dt]. *)
+
+val rk4_step : system -> float -> float array -> float -> float array
+(** One classical 4th-order Runge-Kutta step of size [h]. *)
+
+val rk4 :
+  system ->
+  t0:float ->
+  t1:float ->
+  y0:float array ->
+  steps:int ->
+  (float * float array) array
+(** Fixed-step RK4 trajectory including both endpoints. *)
+
+val rkf45 :
+  ?tol:float ->
+  ?h0:float ->
+  ?h_min:float ->
+  ?max_steps:int ->
+  system ->
+  t0:float ->
+  t1:float ->
+  y0:float array ->
+  (float * float array) array
+(** Adaptive Runge-Kutta-Fehlberg 4(5) trajectory with per-step
+    infinity-norm error control to [tol]. *)

@@ -1,0 +1,203 @@
+(* Derivative-free minimisation: golden-section and Brent in one
+   dimension, Nelder-Mead simplex in several.  Used to optimise the
+   piecewise-region boundaries against RMS fitting error. *)
+
+exception Not_converged of string
+
+let golden_ratio = (sqrt 5.0 -. 1.0) /. 2.0
+
+(* Golden-section search for the minimum of a unimodal f on [a, b]. *)
+let golden_section ?(tol = 1e-10) ?(max_iter = 200) f a b =
+  let a = ref (Float.min a b) and b = ref (Float.max a b) in
+  let x1 = ref (!b -. (golden_ratio *. (!b -. !a))) in
+  let x2 = ref (!a +. (golden_ratio *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  let iter = ref 0 in
+  while !b -. !a > tol *. Float.max 1.0 (Float.abs !a +. Float.abs !b)
+        && !iter < max_iter do
+    incr iter;
+    if !f1 < !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (golden_ratio *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (golden_ratio *. (!b -. !a));
+      f2 := f !x2
+    end
+  done;
+  let x = 0.5 *. (!a +. !b) in
+  (x, f x)
+
+(* Brent's parabolic-interpolation minimiser on [a, b]. *)
+let brent_min ?(tol = 1e-10) ?(max_iter = 200) f a b =
+  let cgold = 0.3819660 in
+  let zeps = 1e-18 in
+  let a = ref (Float.min a b) and b = ref (Float.max a b) in
+  let x = ref (!a +. (cgold *. (!b -. !a))) in
+  let w = ref !x and v = ref !x in
+  let fx = ref (f !x) in
+  let fw = ref !fx and fv = ref !fx in
+  let d = ref 0.0 and e = ref 0.0 in
+  let answer = ref None in
+  let iter = ref 0 in
+  while !answer = None && !iter < max_iter do
+    incr iter;
+    let xm = 0.5 *. (!a +. !b) in
+    let tol1 = (tol *. Float.abs !x) +. zeps in
+    let tol2 = 2.0 *. tol1 in
+    if Float.abs (!x -. xm) <= tol2 -. (0.5 *. (!b -. !a)) then
+      answer := Some (!x, !fx)
+    else begin
+      let use_golden = ref true in
+      if Float.abs !e > tol1 then begin
+        (* trial parabolic fit through x, v, w *)
+        let r = (!x -. !w) *. (!fx -. !fv) in
+        let q = (!x -. !v) *. (!fx -. !fw) in
+        let p = ((!x -. !v) *. q) -. ((!x -. !w) *. r) in
+        let q = 2.0 *. (q -. r) in
+        let p = if q > 0.0 then -.p else p in
+        let q = Float.abs q in
+        let etemp = !e in
+        e := !d;
+        if
+          Float.abs p < Float.abs (0.5 *. q *. etemp)
+          && p > q *. (!a -. !x)
+          && p < q *. (!b -. !x)
+        then begin
+          d := p /. q;
+          let u = !x +. !d in
+          if u -. !a < tol2 || !b -. u < tol2 then
+            d := if xm >= !x then tol1 else -.tol1;
+          use_golden := false
+        end
+      end;
+      if !use_golden then begin
+        e := (if !x >= xm then !a else !b) -. !x;
+        d := cgold *. !e
+      end;
+      let u =
+        if Float.abs !d >= tol1 then !x +. !d
+        else !x +. (if !d >= 0.0 then tol1 else -.tol1)
+      in
+      let fu = f u in
+      if fu <= !fx then begin
+        if u >= !x then a := !x else b := !x;
+        v := !w;
+        fv := !fw;
+        w := !x;
+        fw := !fx;
+        x := u;
+        fx := fu
+      end
+      else begin
+        if u < !x then a := u else b := u;
+        if fu <= !fw || !w = !x then begin
+          v := !w;
+          fv := !fw;
+          w := u;
+          fw := fu
+        end
+        else if fu <= !fv || !v = !x || !v = !w then begin
+          v := u;
+          fv := fu
+        end
+      end
+    end
+  done;
+  match !answer with
+  | Some r -> r
+  | None -> (!x, !fx)
+
+(* Nelder-Mead downhill simplex.  Standard reflection/expansion/
+   contraction/shrink coefficients.  Returns the best vertex. *)
+let nelder_mead ?(tol = 1e-10) ?(max_iter = 2000) ?(initial_step = 0.1) f x0 =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Optimize.nelder_mead: empty start point";
+  let alpha = 1.0 and gamma = 2.0 and rho = 0.5 and sigma = 0.5 in
+  (* simplex of n+1 vertices *)
+  let vertices =
+    Array.init (n + 1) (fun i ->
+        let v = Array.copy x0 in
+        if i > 0 then begin
+          let j = i - 1 in
+          let step =
+            if v.(j) = 0.0 then initial_step else initial_step *. Float.abs v.(j)
+          in
+          v.(j) <- v.(j) +. step
+        end;
+        v)
+  in
+  let values = Array.map f vertices in
+  let order () =
+    let idx = Array.init (n + 1) (fun i -> i) in
+    Array.sort (fun i j -> compare values.(i) values.(j)) idx;
+    let vs = Array.map (fun i -> vertices.(i)) idx in
+    let fs = Array.map (fun i -> values.(i)) idx in
+    Array.blit vs 0 vertices 0 (n + 1);
+    Array.blit fs 0 values 0 (n + 1)
+  in
+  let centroid () =
+    let c = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      (* centroid of all vertices except the worst *)
+      for j = 0 to n - 1 do
+        c.(j) <- c.(j) +. (vertices.(i).(j) /. float_of_int n)
+      done
+    done;
+    c
+  in
+  let combine c v t = Array.init n (fun j -> c.(j) +. (t *. (v.(j) -. c.(j)))) in
+  let iter = ref 0 in
+  order ();
+  while
+    !iter < max_iter
+    && Float.abs (values.(n) -. values.(0))
+       > tol *. (Float.abs values.(0) +. Float.abs values.(n) +. 1e-30)
+  do
+    incr iter;
+    let c = centroid () in
+    let xr = combine c vertices.(n) (-.alpha) in
+    let fr = f xr in
+    if fr < values.(0) then begin
+      (* try expansion *)
+      let xe = combine c vertices.(n) (-.gamma) in
+      let fe = f xe in
+      if fe < fr then begin
+        vertices.(n) <- xe;
+        values.(n) <- fe
+      end
+      else begin
+        vertices.(n) <- xr;
+        values.(n) <- fr
+      end
+    end
+    else if fr < values.(n - 1) then begin
+      vertices.(n) <- xr;
+      values.(n) <- fr
+    end
+    else begin
+      (* contraction *)
+      let xc = combine c vertices.(n) rho in
+      let fc = f xc in
+      if fc < values.(n) then begin
+        vertices.(n) <- xc;
+        values.(n) <- fc
+      end
+      else
+        (* shrink towards the best vertex *)
+        for i = 1 to n do
+          vertices.(i) <-
+            Array.init n (fun j ->
+                vertices.(0).(j) +. (sigma *. (vertices.(i).(j) -. vertices.(0).(j))));
+          values.(i) <- f vertices.(i)
+        done
+    end;
+    order ()
+  done;
+  (Array.copy vertices.(0), values.(0))

@@ -1,0 +1,25 @@
+(** Derivative-free minimisation. *)
+
+exception Not_converged of string
+
+val golden_section :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float * float
+(** [golden_section f a b] locates the minimum of a unimodal [f] on
+    [[a, b]]; returns [(x_min, f x_min)]. *)
+
+val brent_min :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float * float
+(** Brent's minimiser (golden section accelerated by parabolic
+    interpolation) on [[a, b]]. *)
+
+val nelder_mead :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?initial_step:float ->
+  (float array -> float) ->
+  float array ->
+  float array * float
+(** [nelder_mead f x0] minimises a multivariate function starting from
+    [x0] by the downhill-simplex method; returns the best vertex and
+    its value.  [initial_step] scales the initial simplex (relative to
+    each coordinate, absolute for zero coordinates). *)

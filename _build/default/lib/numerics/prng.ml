@@ -1,0 +1,42 @@
+(* Deterministic pseudo-random numbers (SplitMix64) for reproducible
+   Monte-Carlo studies.  Not cryptographic; chosen for simplicity,
+   excellent statistical quality at this scale, and bit-for-bit
+   reproducibility across platforms. *)
+
+type t = { mutable state : int64 }
+
+let create ?(seed = 0x9E3779B97F4A7C15L) () = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* One SplitMix64 step. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform float in [0, 1): the top 53 bits of the state. *)
+let uniform t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let uniform_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.uniform_range: hi < lo";
+  lo +. ((hi -. lo) *. uniform t)
+
+(* Standard normal by Box-Muller (the cached second variate is dropped
+   to keep the state a single integer). *)
+let gaussian ?(mean = 0.0) ?(sigma = 1.0) t =
+  if sigma < 0.0 then invalid_arg "Prng.gaussian: negative sigma";
+  let rec nonzero () =
+    let u = uniform t in
+    if u > 1e-300 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = uniform t in
+  mean +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let split t =
+  (* derive an independent stream deterministically *)
+  create ~seed:(next_int64 t) ()

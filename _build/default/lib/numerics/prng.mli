@@ -1,0 +1,20 @@
+(** Deterministic pseudo-random numbers (SplitMix64) for reproducible
+    Monte-Carlo studies. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val uniform : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val uniform_range : t -> lo:float -> hi:float -> float
+
+val gaussian : ?mean:float -> ?sigma:float -> t -> float
+(** Normal variate by Box-Muller. *)
+
+val split : t -> t
+(** Derive an independent stream. *)

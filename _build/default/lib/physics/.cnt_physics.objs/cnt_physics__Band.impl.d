@@ -1,0 +1,1 @@
+lib/physics/band.ml: Array Cnt_numerics Float Printf

@@ -1,0 +1,1 @@
+lib/physics/charge.ml: Array Cnt_numerics Constants Dos Fermi Float Quadrature Special

@@ -1,0 +1,1 @@
+lib/physics/device.ml: Band Charge Cnt_numerics Constants Dos Float Format

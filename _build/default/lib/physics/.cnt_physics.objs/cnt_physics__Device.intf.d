@@ -1,0 +1,1 @@
+lib/physics/device.mli: Charge Dos Format

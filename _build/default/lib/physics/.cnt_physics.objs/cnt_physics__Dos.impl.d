@@ -1,0 +1,1 @@
+lib/physics/dos.ml: Array Band Cnt_numerics Float Grid

@@ -1,0 +1,1 @@
+lib/physics/fermi.ml: Array Cnt_numerics Constants Float Quadrature Special

@@ -1,0 +1,1 @@
+lib/physics/fettoy.ml: Array Charge Cnt_numerics Constants Device Fermi Float List Rootfind

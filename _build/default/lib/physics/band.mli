@@ -1,0 +1,46 @@
+(** Zone-folded tight-binding band structure of single-wall carbon
+    nanotubes: diameter, band gap and subband edges from the chiral
+    indices. *)
+
+exception Not_semiconducting of string
+
+val a_cc : float
+(** Carbon-carbon bond length, metres. *)
+
+val lattice_constant : float
+(** Graphene lattice constant [a = a_cc * sqrt 3], metres. *)
+
+val hopping_energy_ev : float
+(** Tight-binding hopping energy [gamma], eV. *)
+
+type chirality = private {
+  n : int;
+  m : int;
+}
+
+val chirality : int -> int -> chirality
+(** Smart constructor; requires [n > 0] and [0 <= m <= n]. *)
+
+val is_metallic : chirality -> bool
+(** True when [(n - m) mod 3 = 0]. *)
+
+val diameter : chirality -> float
+(** Tube diameter in metres. *)
+
+val band_gap_of_diameter : float -> float
+(** Band gap in eV of a semiconducting tube with the given diameter in
+    metres: [Eg = 2 a_cc gamma / d]. *)
+
+val band_gap : chirality -> float
+(** Band gap in eV.  Raises {!Not_semiconducting} for metallic tubes. *)
+
+val subband_multiplier : int -> int
+(** [subband_multiplier p] is the distance (in units of the first
+    allowed line) of the p-th allowed line from the K point:
+    1, 2, 4, 5, 7, 8, ... *)
+
+val subband_half_gaps : diameter:float -> count:int -> float array
+(** Half-gaps [Delta_p] in eV of the first [count] subbands. *)
+
+val fermi_velocity : float
+(** Graphene Fermi velocity, m/s. *)

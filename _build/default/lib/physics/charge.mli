@@ -1,0 +1,48 @@
+(** Non-equilibrium mobile charge density of a ballistic nanotube
+    (paper eqs. 1-4, 10-11), computed by numerical integration of the
+    density of states against the Fermi distribution.
+
+    Conventions: energies in eV measured from the first subband edge;
+    voltages in volts (numerically equal to eV when multiplied by q);
+    densities in states per metre; charges in Coulombs per metre. *)
+
+val integrand_evaluations : int ref
+(** Global counter of DOS-integrand evaluations — the work the paper's
+    closed-form model eliminates.  See {!reset_counter}. *)
+
+val reset_counter : unit -> unit
+val evaluation_count : unit -> int
+
+type profile = {
+  dos : Dos.t;
+  temp : float;  (** Kelvin *)
+  fermi : float;  (** source Fermi level, eV from the first subband edge *)
+  tol : float;  (** quadrature tolerance *)
+}
+
+val profile :
+  ?tol:float -> dos:Dos.t -> temp:float -> fermi:float -> unit -> profile
+
+val density : profile -> float -> float
+(** [density p u] is [N(U) = 1/2 * int D(E) f(E - U) dE] in 1/m, with
+    the chemical potential [u] in eV.  The subband-edge singularity is
+    integrated exactly via the cosh substitution. *)
+
+val density_derivative : profile -> float -> float
+(** [dN/dU] in 1/(eV.m); positive. *)
+
+val equilibrium : profile -> float
+(** [N0 = 2 N(E_F)], the equilibrium electron density, 1/m. *)
+
+val qs : ?n0:float -> profile -> float -> float
+(** [qs p vsc] is the source mobile charge
+    [Q_S(V_SC) = q (N_S - N0/2)] in C/m (paper eq. 10).  Pass a
+    precomputed [n0] to avoid recomputing the equilibrium integral. *)
+
+val qd : ?n0:float -> profile -> vds:float -> float -> float
+(** [qd p ~vds vsc] is the drain mobile charge
+    [Q_D = q (N_D - N0/2) = Q_S (V_SC + V_DS)] (paper eq. 11). *)
+
+val qs_derivative : profile -> float -> float
+(** [dQ_S/dV_SC] in F/m; non-positive (its magnitude at the band edge
+    is the tube's quantum capacitance). *)

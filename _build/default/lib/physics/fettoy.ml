@@ -1,0 +1,119 @@
+(* Reference ballistic CNFET model, equivalent to the FETToy MATLAB
+   script the paper benchmarks against: the state densities are
+   integrated numerically at every evaluation and the self-consistent
+   voltage equation is solved by (bracketed) Newton-Raphson.
+
+   This is deliberately the expensive path — it is both the accuracy
+   reference for tables II-V and the timing baseline for table I. *)
+
+open Cnt_numerics
+
+type t = {
+  device : Device.t;
+  profile : Charge.profile;
+  n0 : float; (* cached equilibrium density, 1/m *)
+  c_sigma : float;
+  solver_tol : float;
+}
+
+type solve_stats = {
+  vsc : float;
+  iterations : int;
+  residual : float; (* charge residual of eq. (7), C/m *)
+}
+
+let create ?(tol = 1e-10) ?(solver_tol = 1e-12) device =
+  let profile = Device.charge_profile ~tol device in
+  {
+    device;
+    profile;
+    n0 = Charge.equilibrium profile;
+    c_sigma = Device.c_sigma device;
+    solver_tol;
+  }
+
+let device t = t.device
+
+(* Source and drain mobile charge at a candidate self-consistent
+   voltage, using the cached N0. *)
+let charge_qs t vsc = Charge.qs ~n0:t.n0 t.profile vsc
+let charge_qd t ~vds vsc = Charge.qd ~n0:t.n0 t.profile ~vds vsc
+
+(* Residual of the self-consistent voltage equation (paper eq. 7) in
+   the monotone form F(V) = C_Sigma V + Q_t - Q_S(V) - Q_D(V). *)
+let residual t ~vgs ~vds vsc =
+  let qt = Device.terminal_charge t.device ~vgs ~vds in
+  (t.c_sigma *. vsc) +. qt -. charge_qs t vsc -. charge_qd t ~vds vsc
+
+let residual_derivative t ~vds vsc =
+  t.c_sigma
+  -. Charge.qs_derivative t.profile vsc
+  -. Charge.qs_derivative t.profile (vsc +. vds)
+
+(* Expand a bracket around the unique root of the increasing F. *)
+let bracket t ~vgs ~vds =
+  let qt = Device.terminal_charge t.device ~vgs ~vds in
+  let guess = -.qt /. t.c_sigma in
+  let lo = ref (guess -. 0.2) and hi = ref (Float.max guess 0.0 +. 0.2) in
+  let steps = ref 0 in
+  while residual t ~vgs ~vds !lo > 0.0 && !steps < 64 do
+    incr steps;
+    lo := !lo -. 0.4
+  done;
+  steps := 0;
+  while residual t ~vgs ~vds !hi < 0.0 && !steps < 64 do
+    incr steps;
+    hi := !hi +. 0.4
+  done;
+  (!lo, !hi)
+
+let solve_vsc_stats t ~vgs ~vds =
+  let lo, hi = bracket t ~vgs ~vds in
+  let r =
+    Rootfind.newton_bracketed ~tol:t.solver_tol
+      ~f:(fun v -> residual t ~vgs ~vds v)
+      ~f':(fun v -> residual_derivative t ~vds v)
+      lo hi
+  in
+  { vsc = r.Rootfind.root; iterations = r.Rootfind.iterations; residual = r.Rootfind.residual }
+
+let solve_vsc t ~vgs ~vds = (solve_vsc_stats t ~vgs ~vds).vsc
+
+(* Drain current from a known self-consistent voltage (paper eq. 14):
+   I_DS = (2 q k T / pi hbar) [F0(eta_S) - F0(eta_D)]. *)
+let ids_of_vsc t ~vds vsc =
+  let kt_j = Constants.thermal_energy t.device.Device.temp in
+  let kt_ev = Fermi.kt_ev t.device.Device.temp in
+  let eta_s = (t.device.Device.fermi -. vsc) /. kt_ev in
+  let eta_d = eta_s -. (vds /. kt_ev) in
+  2.0 *. Constants.elementary_charge *. kt_j
+  /. (Float.pi *. Constants.hbar)
+  *. (Fermi.integral_order0 eta_s -. Fermi.integral_order0 eta_d)
+
+let ids t ~vgs ~vds = ids_of_vsc t ~vds (solve_vsc t ~vgs ~vds)
+
+(* A family of output characteristics: one current array per gate
+   voltage, over a shared drain-voltage grid.  This 7 x 61 sweep shape
+   is the workload of the paper's table I. *)
+let output_family t ~vgs_list ~vds_points =
+  List.map (fun vgs -> (vgs, Array.map (fun vds -> ids t ~vgs ~vds) vds_points)) vgs_list
+
+(* Transfer characteristic at fixed V_DS. *)
+let transfer t ~vds ~vgs_points = Array.map (fun vgs -> ids t ~vgs ~vds) vgs_points
+
+(* Mobile carrier densities (1/m) at the solved bias point — one of
+   FETToy's standard outputs. *)
+let densities t ~vgs ~vds =
+  let vsc = solve_vsc t ~vgs ~vds in
+  let fermi = t.device.Device.fermi in
+  let ns = Charge.density t.profile (fermi -. vsc) in
+  let nd = Charge.density t.profile (fermi -. vsc -. vds) in
+  (ns, nd)
+
+(* Average carrier velocity at the top of the barrier (m/s):
+   v = I / (q * (N_S + N_D)), FETToy's injection-velocity output. *)
+let average_velocity t ~vgs ~vds =
+  let ns, nd = densities t ~vgs ~vds in
+  let n = ns +. nd in
+  if n <= 0.0 then 0.0
+  else ids t ~vgs ~vds /. (Constants.elementary_charge *. n)

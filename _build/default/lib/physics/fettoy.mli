@@ -1,0 +1,61 @@
+(** Reference ballistic CNFET model (FETToy-equivalent): full numerical
+    integration of the state densities inside a bracketed
+    Newton-Raphson solve of the self-consistent voltage equation.  This
+    is the accuracy and speed baseline of every experiment in the
+    paper. *)
+
+type t
+
+type solve_stats = {
+  vsc : float;  (** self-consistent voltage, V *)
+  iterations : int;  (** Newton iterations used *)
+  residual : float;  (** residual charge of eq. (7), C/m *)
+}
+
+val create : ?tol:float -> ?solver_tol:float -> Device.t -> t
+(** Build the reference model; [tol] is the quadrature tolerance,
+    [solver_tol] the Newton convergence tolerance on V_SC. *)
+
+val device : t -> Device.t
+
+val charge_qs : t -> float -> float
+(** Source mobile charge Q_S(V_SC) in C/m, with cached N0. *)
+
+val charge_qd : t -> vds:float -> float -> float
+(** Drain mobile charge Q_D(V_SC) in C/m. *)
+
+val residual : t -> vgs:float -> vds:float -> float -> float
+(** Monotone residual [F(V) = C_Sigma V + Q_t - Q_S(V) - Q_D(V)] of the
+    self-consistent equation; its unique zero is the bias point. *)
+
+val residual_derivative : t -> vds:float -> float -> float
+(** Analytic [dF/dV]; always positive. *)
+
+val solve_vsc_stats : t -> vgs:float -> vds:float -> solve_stats
+(** Solve eq. (7) by bracketed Newton-Raphson, reporting iteration
+    count and final residual. *)
+
+val solve_vsc : t -> vgs:float -> vds:float -> float
+
+val ids_of_vsc : t -> vds:float -> float -> float
+(** Drain current (A) from a known V_SC (paper eq. 14). *)
+
+val ids : t -> vgs:float -> vds:float -> float
+(** Drain current at a bias point: solve V_SC, then eq. (14). *)
+
+val output_family :
+  t -> vgs_list:float list -> vds_points:float array -> (float * float array) list
+(** Output characteristics [I_DS(V_DS)] for each gate voltage — the
+    paper's table-I workload shape. *)
+
+val transfer : t -> vds:float -> vgs_points:float array -> float array
+(** Transfer characteristic [I_DS(V_GS)] at fixed [V_DS]. *)
+
+val densities : t -> vgs:float -> vds:float -> float * float
+(** [(N_S, N_D)] mobile carrier densities (1/m) at the solved bias
+    point. *)
+
+val average_velocity : t -> vgs:float -> vds:float -> float
+(** Average carrier velocity at the top of the barrier,
+    [I / (q (N_S + N_D))] in m/s — FETToy's injection-velocity
+    output.  Bounded by the band-structure-limited velocity. *)

@@ -1,0 +1,1 @@
+lib/spice/ac.ml: Array Circuit Cnt_core Cnt_numerics Complex Complex_linalg Dc Float Grid List Mna Printf

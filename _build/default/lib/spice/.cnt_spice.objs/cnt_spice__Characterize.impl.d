@@ -1,0 +1,1 @@
+lib/spice/characterize.ml: Array Circuit Printf Transient Waveform

@@ -1,0 +1,1 @@
+lib/spice/characterize.mli: Circuit Transient

@@ -1,0 +1,1 @@
+lib/spice/circuit.ml: Cnt_core Cnt_physics Hashtbl List Printf String Waveform

@@ -1,0 +1,1 @@
+lib/spice/engine.ml: Ac Array Buffer Circuit Cnt_core Complex Dc Float Format List Mna Parser Printf String Transient

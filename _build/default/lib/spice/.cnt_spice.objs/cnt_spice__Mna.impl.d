@@ -1,0 +1,1 @@
+lib/spice/mna.ml: Array Circuit Cnt_core Cnt_numerics Float Hashtbl Linalg List Printf String

@@ -1,0 +1,1 @@
+lib/spice/mna.mli: Circuit Cnt_numerics Linalg Waveform

@@ -1,0 +1,1 @@
+lib/spice/netlist.ml: Buffer Circuit Cnt_core Filename Hashtbl List Parser Printf String Sys Waveform

@@ -1,0 +1,1 @@
+lib/spice/parser.ml: Buffer Char Circuit Cnt_core Cnt_physics Hashtbl List Printf String Waveform

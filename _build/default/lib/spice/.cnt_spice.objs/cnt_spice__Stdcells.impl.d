@@ -1,0 +1,1 @@
+lib/spice/stdcells.ml: Circuit Cnt_core Cnt_model Cnt_physics List Option Printf Waveform

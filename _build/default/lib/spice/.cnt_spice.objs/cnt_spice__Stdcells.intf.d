@@ -1,0 +1,1 @@
+lib/spice/stdcells.mli: Charge_fit Circuit Cnt_core Cnt_model Cnt_physics

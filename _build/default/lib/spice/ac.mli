@@ -1,0 +1,33 @@
+(** AC small-signal analysis: the circuit is linearised at its DC
+    operating point and one complex MNA system is solved per
+    frequency.  Sources drive the system through their [?ac]
+    magnitude. *)
+
+exception Analysis_error of string
+
+type result = {
+  compiled : Mna.compiled;
+  op : Dc.op_result;  (** the linearisation point *)
+  freqs : float array;  (** Hz *)
+  solutions : Complex.t array array;
+}
+
+val decade_frequencies :
+  start:float -> stop:float -> per_decade:int -> float array
+(** Logarithmic frequency grid. *)
+
+val run : ?gmin:float -> Circuit.t -> freqs:float array -> result
+
+val voltage : result -> string -> Complex.t array
+(** Node-voltage phasor across the sweep. *)
+
+val vsource_current : result -> string -> Complex.t array
+
+val magnitude_db : Complex.t array -> float array
+(** [20 log10 |z|] per point. *)
+
+val phase_degrees : Complex.t array -> float array
+
+val corner_frequency : result -> string -> float option
+(** The -3 dB frequency of a node relative to the first sweep point,
+    log-interpolated; [None] if the response never drops 3 dB. *)

@@ -1,0 +1,160 @@
+(* Circuit netlists.  Nodes are named; "0" and "gnd" are the ground
+   node.  Elements reference nodes by name; compilation to MNA indices
+   happens in Mna. *)
+
+exception Bad_circuit of string
+
+type cnfet_params = {
+  model : Cnt_core.Cnt_model.t;
+  length : float; (* tube length in metres; > 0 enables the intrinsic
+                     terminal capacitances (per-unit-length device
+                     capacitances times this length, Meyer-style
+                     gate-source / gate-drain split) *)
+}
+
+type element =
+  | Resistor of {
+      name : string;
+      n1 : string;
+      n2 : string;
+      ohms : float;
+    }
+  | Capacitor of {
+      name : string;
+      n1 : string;
+      n2 : string;
+      farads : float;
+    }
+  | Inductor of {
+      name : string;
+      n1 : string;
+      n2 : string;
+      henries : float;
+    }
+  | Vsource of {
+      name : string;
+      npos : string;
+      nneg : string;
+      wave : Waveform.t;
+      ac : float; (* small-signal magnitude for AC analysis *)
+    }
+  | Isource of {
+      name : string;
+      npos : string;
+      nneg : string; (* current flows from npos to nneg through the source *)
+      wave : Waveform.t;
+      ac : float;
+    }
+  | Cnfet of {
+      name : string;
+      drain : string;
+      gate : string;
+      source : string;
+      params : cnfet_params;
+    }
+
+type t = {
+  elements : element list; (* in declaration order *)
+}
+
+let is_ground n =
+  match String.lowercase_ascii n with "0" | "gnd" -> true | _ -> false
+
+let element_name = function
+  | Resistor r -> r.name
+  | Capacitor c -> c.name
+  | Inductor l -> l.name
+  | Vsource v -> v.name
+  | Isource i -> i.name
+  | Cnfet f -> f.name
+
+let element_nodes = function
+  | Resistor r -> [ r.n1; r.n2 ]
+  | Capacitor c -> [ c.n1; c.n2 ]
+  | Inductor l -> [ l.n1; l.n2 ]
+  | Vsource v -> [ v.npos; v.nneg ]
+  | Isource i -> [ i.npos; i.nneg ]
+  | Cnfet f -> [ f.drain; f.gate; f.source ]
+
+let create elements =
+  (* validate unique names and positive passive values *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let name = String.lowercase_ascii (element_name e) in
+      if Hashtbl.mem seen name then
+        raise (Bad_circuit (Printf.sprintf "duplicate element name %s" name));
+      Hashtbl.add seen name ();
+      (match e with
+      | Resistor r when r.ohms <= 0.0 ->
+          raise (Bad_circuit (Printf.sprintf "%s: resistance must be positive" r.name))
+      | Capacitor c when c.farads <= 0.0 ->
+          raise (Bad_circuit (Printf.sprintf "%s: capacitance must be positive" c.name))
+      | Inductor l when l.henries <= 0.0 ->
+          raise (Bad_circuit (Printf.sprintf "%s: inductance must be positive" l.name))
+      | Resistor _ | Capacitor _ | Inductor _ | Vsource _ | Isource _ | Cnfet _ -> ()))
+    elements;
+  let circuit = { elements } in
+  (* every circuit needs a ground reference *)
+  let grounded =
+    List.exists (fun e -> List.exists is_ground (element_nodes e)) elements
+  in
+  if elements <> [] && not grounded then
+    raise (Bad_circuit "no element connects to ground (node 0/gnd)");
+  circuit
+
+let elements t = t.elements
+
+(* All distinct non-ground node names, in first-appearance order. *)
+let nodes t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun n ->
+          let key = String.lowercase_ascii n in
+          if (not (is_ground n)) && not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            out := key :: !out
+          end)
+        (element_nodes e))
+    t.elements;
+  List.rev !out
+
+let find t name =
+  let key = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii (element_name e) = key) t.elements
+
+let vsources t =
+  List.filter_map (function Vsource _ as v -> Some v | _ -> None) t.elements
+
+(* Convenience constructors. *)
+let resistor name n1 n2 ohms = Resistor { name; n1; n2; ohms }
+let capacitor name n1 n2 farads = Capacitor { name; n1; n2; farads }
+let inductor name n1 n2 henries = Inductor { name; n1; n2; henries }
+
+let vsource ?(ac = 0.0) name npos nneg wave =
+  Vsource { name; npos; nneg; wave; ac }
+
+let vdc ?ac name npos nneg volts = vsource ?ac name npos nneg (Waveform.dc volts)
+let isource ?(ac = 0.0) name npos nneg wave = Isource { name; npos; nneg; wave; ac }
+
+let cnfet ?(length = 0.0) name ~drain ~gate ~source model =
+  if length < 0.0 then raise (Bad_circuit (name ^ ": negative tube length"));
+  Cnfet { name; drain; gate; source; params = { model; length } }
+
+(* Meyer-style split of the per-unit-length electrostatic capacitances
+   into two linear two-terminal capacitors.  Zero-length devices have
+   no intrinsic capacitance. *)
+let cnfet_intrinsic_caps params =
+  if params.length <= 0.0 then None
+  else begin
+    let device = Cnt_core.Cnt_model.device params.model in
+    let cg = Cnt_physics.Device.c_gate device in
+    let cd = Cnt_physics.Device.c_drain device in
+    let cs = Cnt_physics.Device.c_source device in
+    let cgs = ((0.5 *. cg) +. cs) *. params.length in
+    let cgd = ((0.5 *. cg) +. cd) *. params.length in
+    Some (cgs, cgd)
+  end

@@ -1,0 +1,102 @@
+(** Circuit netlists: elements over named nodes.  Node "0" (or "gnd",
+    any case) is ground. *)
+
+exception Bad_circuit of string
+
+type cnfet_params = {
+  model : Cnt_core.Cnt_model.t;
+  length : float;
+      (** tube length in metres; > 0 enables intrinsic terminal
+          capacitances *)
+}
+
+type element =
+  | Resistor of {
+      name : string;
+      n1 : string;
+      n2 : string;
+      ohms : float;
+    }
+  | Capacitor of {
+      name : string;
+      n1 : string;
+      n2 : string;
+      farads : float;
+    }
+  | Inductor of {
+      name : string;
+      n1 : string;
+      n2 : string;
+      henries : float;
+    }
+  | Vsource of {
+      name : string;
+      npos : string;
+      nneg : string;
+      wave : Waveform.t;
+      ac : float;  (** small-signal magnitude for AC analysis *)
+    }
+  | Isource of {
+      name : string;
+      npos : string;
+      nneg : string;
+      wave : Waveform.t;
+      ac : float;
+    }
+  | Cnfet of {
+      name : string;
+      drain : string;
+      gate : string;
+      source : string;
+      params : cnfet_params;
+    }
+
+type t
+
+val is_ground : string -> bool
+
+val create : element list -> t
+(** Validates name uniqueness, positive R/C values, and the presence of
+    a ground connection.  Raises {!Bad_circuit} otherwise. *)
+
+val elements : t -> element list
+val element_name : element -> string
+val element_nodes : element -> string list
+
+val nodes : t -> string list
+(** Distinct non-ground nodes, lower-cased, in first-appearance
+    order. *)
+
+val find : t -> string -> element option
+(** Look an element up by (case-insensitive) name. *)
+
+val vsources : t -> element list
+
+val resistor : string -> string -> string -> float -> element
+val capacitor : string -> string -> string -> float -> element
+val inductor : string -> string -> string -> float -> element
+
+val vsource : ?ac:float -> string -> string -> string -> Waveform.t -> element
+(** [?ac] sets the source's small-signal magnitude (default 0). *)
+
+val vdc : ?ac:float -> string -> string -> string -> float -> element
+val isource : ?ac:float -> string -> string -> string -> Waveform.t -> element
+
+val cnfet :
+  ?length:float ->
+  string ->
+  drain:string ->
+  gate:string ->
+  source:string ->
+  Cnt_core.Cnt_model.t ->
+  element
+(** A three-terminal CNFET using a fitted piecewise model (n- or p-type
+    according to the model's polarity).  [?length] (metres, default 0)
+    scales the per-unit-length electrostatic capacitances into intrinsic
+    gate-source/gate-drain capacitors used by transient and AC
+    analyses. *)
+
+val cnfet_intrinsic_caps : cnfet_params -> (float * float) option
+(** [(c_gs, c_gd)] in Farads for a device with positive length
+    (Meyer-style split of the paper's terminal capacitances); [None]
+    for zero-length devices. *)

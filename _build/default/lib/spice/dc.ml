@@ -1,0 +1,95 @@
+(* DC analyses: operating point and swept operating points. *)
+
+exception Analysis_error of string
+
+type op_result = {
+  compiled : Mna.compiled;
+  solution : float array;
+}
+
+let dc_wave w = Waveform.dc_value w
+
+(* Operating point with a gmin/source-stepping fallback: if the plain
+   Newton solve fails, ramp all independent sources from zero to full
+   value, reusing each solution as the next starting guess. *)
+let operating_point ?(gmin = 1e-12) circuit =
+  let compiled = Mna.compile circuit in
+  let x0 = Array.make (Mna.size compiled) 0.0 in
+  let solve ~scale x_start =
+    Mna.newton ~gmin compiled
+      ~eval_wave:(fun w -> scale *. dc_wave w)
+      ~cap:Mna.Open_circuit x_start
+  in
+  let solution =
+    try solve ~scale:1.0 x0
+    with Mna.No_convergence _ ->
+      (* source stepping *)
+      let steps = 20 in
+      let x = ref x0 in
+      for k = 1 to steps do
+        let scale = float_of_int k /. float_of_int steps in
+        x := solve ~scale !x
+      done;
+      !x
+  in
+  { compiled; solution }
+
+let voltage r name = Mna.voltage r.compiled r.solution name
+let current r vname = Mna.vsource_current r.compiled r.solution vname
+
+(* Replace the DC value of one named voltage source. *)
+let set_vsource circuit name volts =
+  let found = ref false in
+  let elements =
+    List.map
+      (fun e ->
+        match e with
+        | Circuit.Vsource { name = vn; npos; nneg; ac; _ }
+          when String.lowercase_ascii vn = String.lowercase_ascii name ->
+            found := true;
+            Circuit.vsource ~ac vn npos nneg (Waveform.dc volts)
+        | e -> e)
+      (Circuit.elements circuit)
+  in
+  if not !found then
+    raise (Analysis_error (Printf.sprintf "dc sweep: no voltage source named %s" name));
+  Circuit.create elements
+
+type sweep_result = {
+  sweep_values : float array;
+  points : op_result array;
+}
+
+(* Sweep the DC value of a voltage source, warm-starting each point
+   from the previous solution. *)
+let sweep ?(gmin = 1e-12) circuit ~source ~start ~stop ~step =
+  if step <= 0.0 then raise (Analysis_error "dc sweep: step must be positive");
+  let n = int_of_float (Float.round ((stop -. start) /. step)) + 1 in
+  if n < 1 then raise (Analysis_error "dc sweep: empty range");
+  let values = Array.init n (fun i -> start +. (float_of_int i *. step)) in
+  let points =
+    let prev = ref None in
+    Array.map
+      (fun v ->
+        let circuit' = set_vsource circuit source v in
+        let compiled = Mna.compile circuit' in
+        let x0 =
+          match !prev with
+          | Some p -> Array.copy p.solution
+          | None -> Array.make (Mna.size compiled) 0.0
+        in
+        let solution =
+          try
+            Mna.newton ~gmin compiled ~eval_wave:dc_wave ~cap:Mna.Open_circuit x0
+          with Mna.No_convergence _ ->
+            (operating_point ~gmin circuit').solution
+        in
+        let r = { compiled; solution } in
+        prev := Some r;
+        r)
+      values
+  in
+  { sweep_values = values; points }
+
+let sweep_voltage r name = Array.map (fun p -> voltage p name) r.points
+let sweep_current r vname = Array.map (fun p -> current p vname) r.points

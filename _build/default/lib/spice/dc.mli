@@ -1,0 +1,38 @@
+(** DC analyses: nonlinear operating point (with source-stepping
+    fallback) and DC sweeps of a voltage source. *)
+
+exception Analysis_error of string
+
+type op_result = {
+  compiled : Mna.compiled;
+  solution : float array;
+}
+
+val operating_point : ?gmin:float -> Circuit.t -> op_result
+
+val voltage : op_result -> string -> float
+val current : op_result -> string -> float
+(** Current through a named voltage source. *)
+
+val set_vsource : Circuit.t -> string -> float -> Circuit.t
+(** Copy of the circuit with one voltage source replaced by a DC value
+    (raises {!Analysis_error} if the source does not exist). *)
+
+type sweep_result = {
+  sweep_values : float array;
+  points : op_result array;
+}
+
+val sweep :
+  ?gmin:float ->
+  Circuit.t ->
+  source:string ->
+  start:float ->
+  stop:float ->
+  step:float ->
+  sweep_result
+(** Sweep the DC value of [source], warm-starting each operating point
+    from the previous one. *)
+
+val sweep_voltage : sweep_result -> string -> float array
+val sweep_current : sweep_result -> string -> float array

@@ -1,0 +1,178 @@
+(* Run the analyses of a parsed deck and tabulate the requested
+   outputs. *)
+
+type table = {
+  analysis_label : string;
+  columns : string array; (* first column is the sweep/time variable *)
+  rows : float array array;
+}
+
+let default_prints circuit prints =
+  if prints <> [] then prints
+  else begin
+    (* print every node voltage when the deck names nothing *)
+    List.map (fun n -> Parser.Print_v n) (Circuit.nodes circuit)
+  end
+
+let print_label = function
+  | Parser.Print_v n -> Printf.sprintf "v(%s)" n
+  | Parser.Print_i s -> Printf.sprintf "i(%s)" s
+  | Parser.Print_id d -> Printf.sprintf "id(%s)" d
+
+(* Drain current of a named CNFET at a solved bias point. *)
+let device_current circuit compiled solution name =
+  match Circuit.find circuit name with
+  | Some (Circuit.Cnfet { drain; gate; source; params; _ }) ->
+      let v n = Mna.voltage compiled solution n in
+      Cnt_core.Cnt_model.ids params.Circuit.model
+        ~vgs:(v gate -. v source)
+        ~vds:(v drain -. v source)
+  | Some _ ->
+      invalid_arg (Printf.sprintf "id(%s): element is not a CNFET" name)
+  | None -> invalid_arg (Printf.sprintf "id(%s): no such element" name)
+
+let op_table circuit prints =
+  let r = Dc.operating_point circuit in
+  let prints = default_prints circuit prints in
+  let columns = Array.of_list (List.map print_label prints) in
+  let row =
+    Array.of_list
+      (List.map
+         (function
+           | Parser.Print_v n -> Dc.voltage r n
+           | Parser.Print_i s -> Dc.current r s
+           | Parser.Print_id d ->
+               device_current circuit r.Dc.compiled r.Dc.solution d)
+         prints)
+  in
+  { analysis_label = "op"; columns; rows = [| row |] }
+
+let dc_table circuit prints ~source ~start ~stop ~step =
+  let r = Dc.sweep circuit ~source ~start ~stop ~step in
+  let prints = default_prints circuit prints in
+  let columns =
+    Array.of_list (source :: List.map print_label prints)
+  in
+  let rows =
+    Array.mapi
+      (fun i v ->
+        Array.of_list
+          (v
+          :: List.map
+               (function
+                 | Parser.Print_v n -> Dc.voltage r.Dc.points.(i) n
+                 | Parser.Print_i s -> Dc.current r.Dc.points.(i) s
+                 | Parser.Print_id d ->
+                     device_current circuit r.Dc.points.(i).Dc.compiled
+                       r.Dc.points.(i).Dc.solution d)
+               prints))
+      r.Dc.sweep_values
+  in
+  {
+    analysis_label = Printf.sprintf "dc %s %g %g %g" source start stop step;
+    columns;
+    rows;
+  }
+
+let ac_table circuit prints ~per_decade ~fstart ~fstop =
+  let freqs = Ac.decade_frequencies ~start:fstart ~stop:fstop ~per_decade in
+  let r = Ac.run circuit ~freqs in
+  let prints = default_prints circuit prints in
+  let columns =
+    Array.of_list
+      ("freq_hz"
+      :: List.concat_map
+           (fun p ->
+             let label = print_label p in
+             [ label ^ "_mag_db"; label ^ "_phase_deg" ])
+           prints)
+  in
+  let phasors =
+    List.map
+      (function
+        | Parser.Print_v n -> Ac.voltage r n
+        | Parser.Print_i s -> Ac.vsource_current r s
+        | Parser.Print_id _ ->
+            invalid_arg "id() print items are not supported in AC analyses")
+      prints
+  in
+  let rows =
+    Array.mapi
+      (fun i f ->
+        Array.of_list
+          (f
+          :: List.concat_map
+               (fun ph ->
+                 [
+                   20.0 *. log10 (Float.max (Complex.norm ph.(i)) 1e-300);
+                   Complex.arg ph.(i) *. 180.0 /. Float.pi;
+                 ])
+               phasors))
+      freqs
+  in
+  {
+    analysis_label = Printf.sprintf "ac dec %d %g %g" per_decade fstart fstop;
+    columns;
+    rows;
+  }
+
+let tran_table circuit prints ~tstep ~tstop =
+  let r = Transient.run circuit ~tstep ~tstop in
+  let prints = default_prints circuit prints in
+  let columns = Array.of_list ("time" :: List.map print_label prints) in
+  let waves =
+    List.map
+      (function
+        | Parser.Print_v n -> Transient.voltage r n
+        | Parser.Print_i s -> Transient.vsource_current r s
+        | Parser.Print_id d ->
+            Array.map
+              (fun x -> device_current circuit r.Transient.compiled x d)
+              r.Transient.solutions)
+      prints
+  in
+  let rows =
+    Array.mapi
+      (fun i t -> Array.of_list (t :: List.map (fun w -> w.(i)) waves))
+      r.Transient.times
+  in
+  { analysis_label = Printf.sprintf "tran %g %g" tstep tstop; columns; rows }
+
+let run_deck (deck : Parser.deck) =
+  List.map
+    (fun analysis ->
+      match analysis with
+      | Parser.Op -> op_table deck.Parser.circuit deck.Parser.prints
+      | Parser.Dc_sweep { source; start; stop; step } ->
+          dc_table deck.Parser.circuit deck.Parser.prints ~source ~start ~stop ~step
+      | Parser.Tran { tstep; tstop } ->
+          tran_table deck.Parser.circuit deck.Parser.prints ~tstep ~tstop
+      | Parser.Ac_sweep { per_decade; fstart; fstop } ->
+          ac_table deck.Parser.circuit deck.Parser.prints ~per_decade ~fstart
+            ~fstop)
+    deck.Parser.analyses
+
+let pp_table ?(max_rows = max_int) fmt t =
+  Format.fprintf fmt "* %s@." t.analysis_label;
+  Format.fprintf fmt "%s@."
+    (String.concat "\t" (Array.to_list (Array.map (Printf.sprintf "%-14s") t.columns)));
+  let n = Array.length t.rows in
+  let shown = min n max_rows in
+  for i = 0 to shown - 1 do
+    Format.fprintf fmt "%s@."
+      (String.concat "\t"
+         (Array.to_list (Array.map (Printf.sprintf "%-14.6g") t.rows.(i))))
+  done;
+  if shown < n then Format.fprintf fmt "... (%d more rows)@." (n - shown)
+
+let table_to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," (Array.to_list t.columns));
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "," (Array.to_list (Array.map (Printf.sprintf "%.9g") row)));
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf

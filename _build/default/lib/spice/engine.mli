@@ -1,0 +1,15 @@
+(** Execute the analyses of a parsed deck and tabulate requested
+    outputs. *)
+
+type table = {
+  analysis_label : string;
+  columns : string array;
+  rows : float array array;
+}
+
+val run_deck : Parser.deck -> table list
+(** Run every analysis in deck order.  When the deck has no [.print]
+    directive, all node voltages are reported. *)
+
+val pp_table : ?max_rows:int -> Format.formatter -> table -> unit
+val table_to_csv : table -> string

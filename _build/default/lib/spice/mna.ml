@@ -1,0 +1,278 @@
+(* Modified nodal analysis: compilation of a netlist to matrix indices,
+   assembly of the linearised system at a candidate solution, and the
+   damped Newton loop shared by the DC and transient engines.
+
+   Unknown vector layout: node voltages first (one per non-ground
+   node), then one branch current per voltage source.  Equations:
+   KCL rows (currents leaving the node sum to the injected current),
+   then one v+ - v- = E row per voltage source. *)
+
+open Cnt_numerics
+
+exception No_convergence of string
+
+type compiled = {
+  circuit : Circuit.t;
+  node_of_name : (string, int) Hashtbl.t;
+  names : string array; (* node names by index *)
+  n_nodes : int;
+  branch_of_vsource : (string, int) Hashtbl.t; (* name -> row offset *)
+  n_branches : int;
+}
+
+let compile circuit =
+  let node_of_name = Hashtbl.create 16 in
+  let names = Circuit.nodes circuit in
+  List.iteri (fun i n -> Hashtbl.add node_of_name n i) names;
+  let branch_of_vsource = Hashtbl.create 4 in
+  let n_branches = ref 0 in
+  (* voltage sources and inductors each carry a branch-current unknown,
+     allocated in element order *)
+  List.iter
+    (fun e ->
+      match e with
+      | Circuit.Vsource { name; _ } | Circuit.Inductor { name; _ } ->
+          Hashtbl.add branch_of_vsource (String.lowercase_ascii name) !n_branches;
+          incr n_branches
+      | _ -> ())
+    (Circuit.elements circuit);
+  {
+    circuit;
+    node_of_name;
+    names = Array.of_list names;
+    n_nodes = List.length names;
+    branch_of_vsource;
+    n_branches = !n_branches;
+  }
+
+let size c = c.n_nodes + c.n_branches
+
+let circuit c = c.circuit
+let node_count c = c.n_nodes
+
+(* Node index, or -1 for ground. *)
+let node_id c name =
+  if Circuit.is_ground name then -1
+  else begin
+    match Hashtbl.find_opt c.node_of_name (String.lowercase_ascii name) with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Mna.node_id: unknown node %s" name)
+  end
+
+let node_name c i = c.names.(i)
+
+let branch_id c vname =
+  match Hashtbl.find_opt c.branch_of_vsource (String.lowercase_ascii vname) with
+  | Some i -> c.n_nodes + i
+  | None -> invalid_arg (Printf.sprintf "Mna.branch_id: unknown source %s" vname)
+
+(* Voltage of a node in a solution vector. *)
+let voltage c x name =
+  let i = node_id c name in
+  if i < 0 then 0.0 else x.(i)
+
+(* Current through a voltage source in a solution vector (SPICE sign:
+   positive flows into the + terminal and through the source). *)
+let vsource_current c x vname = x.(branch_id c vname)
+
+(* Companion stamps for capacitors during transient analysis: the cap
+   between nodes (a, b) behaves as conductance [geq] in parallel with a
+   current source [ieq] flowing a -> b internally. *)
+type cap_companion = {
+  geq : float;
+  ieq : float;
+}
+
+type cap_policy =
+  | Open_circuit (* DC: capacitors carry no current *)
+  | Companions of cap_companion array (* one per capacitor, netlist order *)
+
+(* Inductor branch equation during transient analysis:
+   v+ - v- - zeq * i = veq.  At DC an inductor is a short
+   (zeq = veq = 0). *)
+type ind_companion = {
+  zeq : float;
+  veq : float;
+}
+
+type ind_policy =
+  | Short_circuit (* DC: inductors are shorts *)
+  | Ind_companions of ind_companion array (* one per inductor, netlist order *)
+
+(* Inductors in netlist order as (n1, n2, branch_index, henries). *)
+let inductors c =
+  List.filter_map
+    (function
+      | Circuit.Inductor { name; n1; n2; henries } ->
+          Some (node_id c n1, node_id c n2, branch_id c name, henries)
+      | _ -> None)
+    (Circuit.elements c.circuit)
+  |> Array.of_list
+
+(* Capacitances in netlist order with compiled node ids: explicit
+   capacitor elements, plus the intrinsic gate-source and gate-drain
+   capacitances of CNFETs with a positive tube length. *)
+let capacitors c =
+  List.concat_map
+    (function
+      | Circuit.Capacitor { n1; n2; farads; _ } ->
+          [ (node_id c n1, node_id c n2, farads) ]
+      | Circuit.Cnfet { drain; gate; source; params; _ } -> begin
+          match Circuit.cnfet_intrinsic_caps params with
+          | None -> []
+          | Some (cgs, cgd) ->
+              [
+                (node_id c gate, node_id c source, cgs);
+                (node_id c gate, node_id c drain, cgd);
+              ]
+        end
+      | _ -> [])
+    (Circuit.elements c.circuit)
+  |> Array.of_list
+
+(* Assemble the linearised MNA system J x = b at candidate solution
+   [x].  [eval_wave] supplies each independent source value (time- or
+   sweep-dependent); [gmin] is a stabilising conductance from every
+   node to ground. *)
+let assemble c ~eval_wave ~cap ?(ind = Short_circuit) ~gmin x =
+  let n = size c in
+  let jac = Linalg.Mat.make n n 0.0 in
+  let rhs = Array.make n 0.0 in
+  let add_j i j v = if i >= 0 && j >= 0 then Linalg.Mat.add_to jac i j v in
+  let add_b i v = if i >= 0 then rhs.(i) <- rhs.(i) +. v in
+  let stamp_conductance a b g =
+    add_j a a g;
+    add_j b b g;
+    add_j a b (-.g);
+    add_j b a (-.g)
+  in
+  (* current [i0] flowing a -> b inside a device *)
+  let stamp_current a b i0 =
+    add_b a (-.i0);
+    add_b b i0
+  in
+  let v_of i = if i < 0 then 0.0 else x.(i) in
+  for i = 0 to c.n_nodes - 1 do
+    Linalg.Mat.add_to jac i i gmin
+  done;
+  let cap_index = ref 0 in
+  let ind_index = ref 0 in
+  let branch = ref c.n_nodes in
+  List.iter
+    (fun e ->
+      match e with
+      | Circuit.Resistor { n1; n2; ohms; _ } ->
+          let a = node_id c n1 and b = node_id c n2 in
+          stamp_conductance a b (1.0 /. ohms)
+      | Circuit.Capacitor { n1; n2; _ } -> begin
+          let a = node_id c n1 and b = node_id c n2 in
+          match cap with
+          | Open_circuit -> ()
+          | Companions comps ->
+              let { geq; ieq } = comps.(!cap_index) in
+              incr cap_index;
+              stamp_conductance a b geq;
+              stamp_current a b ieq
+        end
+      | Circuit.Inductor { n1; n2; _ } ->
+          let a = node_id c n1 and b = node_id c n2 in
+          let row = !branch in
+          incr branch;
+          (* branch current leaves n1 into the inductor *)
+          add_j a row 1.0;
+          add_j b row (-1.0);
+          (* branch equation: v1 - v2 - zeq*i = veq *)
+          add_j row a 1.0;
+          add_j row b (-1.0);
+          (match ind with
+          | Short_circuit -> ()
+          | Ind_companions comps ->
+              let { zeq; veq } = comps.(!ind_index) in
+              incr ind_index;
+              add_j row row (-.zeq);
+              rhs.(row) <- rhs.(row) +. veq)
+      | Circuit.Vsource { npos; nneg; wave; _ } ->
+          let p = node_id c npos and m = node_id c nneg in
+          let row = !branch in
+          incr branch;
+          (* branch current leaves the + node into the source *)
+          add_j p row 1.0;
+          add_j m row (-1.0);
+          (* branch equation: v+ - v- = E *)
+          add_j row p 1.0;
+          add_j row m (-1.0);
+          rhs.(row) <- rhs.(row) +. eval_wave wave
+      | Circuit.Isource { npos; nneg; wave; _ } ->
+          let p = node_id c npos and m = node_id c nneg in
+          (* SPICE convention: positive current flows p -> m through
+             the source, i.e. it is extracted from p and injected at m *)
+          stamp_current p m (eval_wave wave)
+      | Circuit.Cnfet { drain; gate; source; params; _ } ->
+          let d = node_id c drain
+          and g = node_id c gate
+          and s = node_id c source in
+          let model = params.Circuit.model in
+          let vgs = v_of g -. v_of s and vds = v_of d -. v_of s in
+          let i0 = Cnt_core.Cnt_model.ids model ~vgs ~vds in
+          let gm = Cnt_core.Cnt_model.gm model ~vgs ~vds in
+          let gds = Cnt_core.Cnt_model.gds model ~vgs ~vds in
+          (* linearised drain current i = ieq + gm*vgs + gds*vds *)
+          let ieq = i0 -. (gm *. vgs) -. (gds *. vds) in
+          add_j d g gm;
+          add_j d s (-.gm);
+          add_j s g (-.gm);
+          add_j s s gm;
+          stamp_conductance d s gds;
+          stamp_current d s ieq;
+          (* intrinsic capacitances participate like explicit ones *)
+          (match Circuit.cnfet_intrinsic_caps params with
+          | None -> ()
+          | Some _ -> begin
+              match cap with
+              | Open_circuit ->
+                  cap_index := !cap_index + 2
+              | Companions comps ->
+                  let stamp_cap a b =
+                    let { geq; ieq } = comps.(!cap_index) in
+                    incr cap_index;
+                    stamp_conductance a b geq;
+                    stamp_current a b ieq
+                  in
+                  stamp_cap g s;
+                  stamp_cap g d
+            end))
+    (Circuit.elements c.circuit);
+  (jac, rhs)
+
+(* Damped Newton iteration.  [x0] is the starting guess; voltage
+   updates are clamped to [max_step] volts per iteration to tame the
+   exponential device characteristics. *)
+let newton ?(gmin = 1e-12) ?(tol = 1e-9) ?(max_iter = 200) ?(max_step = 0.5)
+    ?ind c ~eval_wave ~cap x0 =
+  let n = size c in
+  let x = Array.copy x0 in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let jac, rhs = assemble c ~eval_wave ~cap ?ind ~gmin x in
+    let x_new =
+      try Linalg.solve jac rhs
+      with Linalg.Singular msg -> raise (No_convergence ("singular MNA matrix: " ^ msg))
+    in
+    (* clamp the update *)
+    let worst = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = x_new.(i) -. x.(i) in
+      let dx_limited =
+        if i < c.n_nodes then Float.max (-.max_step) (Float.min max_step dx)
+        else dx
+      in
+      if i < c.n_nodes then worst := Float.max !worst (Float.abs dx);
+      x.(i) <- x.(i) +. dx_limited
+    done;
+    if !worst <= tol *. Float.max 1.0 (Linalg.Vec.norm_inf x) then converged := true
+  done;
+  if not !converged then
+    raise (No_convergence (Printf.sprintf "Newton: %d iterations" max_iter));
+  x

@@ -1,0 +1,90 @@
+(** Modified nodal analysis: netlist compilation, linearised assembly,
+    and the damped Newton loop shared by DC and transient analyses. *)
+
+open Cnt_numerics
+
+exception No_convergence of string
+
+type compiled
+
+val compile : Circuit.t -> compiled
+
+val size : compiled -> int
+(** Number of unknowns: non-ground nodes plus voltage-source
+    branches. *)
+
+val circuit : compiled -> Circuit.t
+(** The netlist this was compiled from. *)
+
+val node_count : compiled -> int
+(** Number of non-ground nodes (indices below this are node
+    voltages). *)
+
+val node_id : compiled -> string -> int
+(** Index of a node ([-1] for ground). *)
+
+val node_name : compiled -> int -> string
+
+val branch_id : compiled -> string -> int
+(** Unknown index of a voltage source's or inductor's branch
+    current. *)
+
+val voltage : compiled -> float array -> string -> float
+(** Node voltage in a solution vector (0 for ground). *)
+
+val vsource_current : compiled -> float array -> string -> float
+(** Current through a voltage source (positive into its + terminal). *)
+
+type cap_companion = {
+  geq : float;  (** companion conductance *)
+  ieq : float;  (** companion current, n1 -> n2 *)
+}
+
+type cap_policy =
+  | Open_circuit  (** DC analysis: capacitors carry no current *)
+  | Companions of cap_companion array
+      (** transient: one companion per capacitor in netlist order *)
+
+type ind_companion = {
+  zeq : float;  (** impedance term of the branch equation *)
+  veq : float;  (** right-hand side of the branch equation *)
+}
+
+type ind_policy =
+  | Short_circuit  (** DC analysis: inductors are shorts *)
+  | Ind_companions of ind_companion array
+      (** transient: one companion per inductor in netlist order *)
+
+val inductors : compiled -> (int * int * int * float) array
+(** Inductors in netlist order as [(n1, n2, branch_index, henries)]. *)
+
+val capacitors : compiled -> (int * int * float) array
+(** Capacitances in netlist order as [(node1, node2, farads)] with
+    compiled indices: explicit capacitors plus the intrinsic
+    gate-source/gate-drain capacitances of CNFETs with positive tube
+    length. *)
+
+val assemble :
+  compiled ->
+  eval_wave:(Waveform.t -> float) ->
+  cap:cap_policy ->
+  ?ind:ind_policy ->
+  gmin:float ->
+  float array ->
+  Linalg.mat * float array
+(** Linearised MNA system [J x = b] at the given candidate solution. *)
+
+val newton :
+  ?gmin:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?max_step:float ->
+  ?ind:ind_policy ->
+  compiled ->
+  eval_wave:(Waveform.t -> float) ->
+  cap:cap_policy ->
+  float array ->
+  float array
+(** Damped Newton iteration from a starting guess.  Raises
+    {!No_convergence} when the iteration budget is exhausted or the
+    matrix is singular. *)

@@ -1,0 +1,19 @@
+(** Emit circuits as deck text in the dialect {!Parser} accepts.
+    CNFET models are archived once each (via {!Cnt_core.Model_io})
+    under [model_dir] and referenced with [file=], making the round
+    trip exact. *)
+
+exception Emit_error of string
+
+val waveform_text : Waveform.t -> string
+val analysis_text : Parser.analysis -> string
+
+val emit :
+  ?title:string ->
+  ?analyses:Parser.analysis list ->
+  ?prints:Parser.print_item list ->
+  ?model_dir:string ->
+  Circuit.t ->
+  string
+(** Raises {!Emit_error} when the circuit contains CNFETs and no
+    [model_dir] was given. *)

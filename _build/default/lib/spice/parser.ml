@@ -1,0 +1,567 @@
+(* Parser for a small SPICE-like netlist dialect.
+
+   Supported cards (case-insensitive; '+' continues the previous line;
+   '*' and '$' start comments):
+
+     Rname n1 n2 value
+     Cname n1 n2 value
+     Lname n1 n2 value
+     Vname n+ n- [DC] value | PULSE(v1 v2 td tr tf pw per)
+                            | SIN(vo va freq [td [damping]])
+                            | PWL(t1 v1 t2 v2 ...)
+     Iname n+ n- (same value forms)
+     Mname d g s CNFET  [key=value ...]   (n-type piecewise CNFET)
+     Mname d g s PCNFET [key=value ...]   (p-type)
+
+   CNFET keys: model=1|2 (default 2), temp=K, ef=eV, d=nm (diameter),
+   tox=nm, kappa=, alphag=, alphad=, optimise=0|1, l=nm (tube length;
+   enables intrinsic terminal capacitances), file=path (load a
+   pre-fitted model card saved by Model_io instead of fitting; its
+   polarity must match the card kind).
+
+   Directives: .op | .dc SRC start stop step | .tran tstep tstop
+             | .ac dec n fstart fstop | .print v(node) i(vsrc) ... | .end
+
+   Hierarchy: .subckt NAME port1 port2 ... / .ends define a subcircuit;
+   "Xinst n1 n2 ... NAME" instantiates it.  Internal nodes and element
+   names are prefixed with "inst.", instances may nest (depth <= 20).
+
+   Engineering suffixes on numbers: f p n u m k meg g t (SPICE
+   semantics: m = milli, meg = mega). *)
+
+exception Parse_error of string
+
+type print_item =
+  | Print_v of string
+  | Print_i of string
+  | Print_id of string (* drain current of a named CNFET *)
+
+type analysis =
+  | Op
+  | Dc_sweep of {
+      source : string;
+      start : float;
+      stop : float;
+      step : float;
+    }
+  | Tran of {
+      tstep : float;
+      tstop : float;
+    }
+  | Ac_sweep of {
+      per_decade : int;
+      fstart : float;
+      fstop : float;
+    }
+
+type deck = {
+  title : string;
+  circuit : Circuit.t;
+  analyses : analysis list;
+  prints : print_item list;
+}
+
+let fail line msg = raise (Parse_error (Printf.sprintf "%s (in: %s)" msg line))
+
+(* Parse a SPICE number with engineering suffix. *)
+let number line s =
+  let s = String.lowercase_ascii s in
+  let len = String.length s in
+  let split_at i = (String.sub s 0 i, String.sub s i (len - i)) in
+  (* find the longest numeric prefix *)
+  let rec prefix_end i =
+    if i >= len then i
+    else begin
+      match s.[i] with
+      | '0' .. '9' | '.' | '+' | '-' -> prefix_end (i + 1)
+      | 'e'
+        when i + 1 < len
+             && (match s.[i + 1] with '0' .. '9' | '+' | '-' -> true | _ -> false) ->
+          prefix_end (i + 2)
+      | _ -> i
+    end
+  in
+  let cut = prefix_end 0 in
+  if cut = 0 then fail line (Printf.sprintf "expected a number, got %S" s);
+  let num, suffix = split_at cut in
+  let base =
+    match float_of_string_opt num with
+    | Some v -> v
+    | None -> fail line (Printf.sprintf "bad number %S" s)
+  in
+  let scale =
+    if suffix = "" then 1.0
+    else if String.length suffix >= 3 && String.sub suffix 0 3 = "meg" then 1e6
+    else begin
+      match suffix.[0] with
+      | 'f' -> 1e-15
+      | 'p' -> 1e-12
+      | 'n' -> 1e-9
+      | 'u' -> 1e-6
+      | 'm' -> 1e-3
+      | 'k' -> 1e3
+      | 'g' -> 1e9
+      | 't' -> 1e12
+      | _ -> fail line (Printf.sprintf "unknown unit suffix %S" suffix)
+    end
+  in
+  base *. scale
+
+(* Join continuation lines, strip comments, drop blanks. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let cleaned =
+    List.filter_map
+      (fun l ->
+        let l = match String.index_opt l '$' with
+          | Some i -> String.sub l 0 i
+          | None -> l
+        in
+        let t = String.trim l in
+        if t = "" then None
+        else if t.[0] = '*' then None
+        else Some t)
+      raw
+  in
+  let rec join acc = function
+    | [] -> List.rev acc
+    | l :: rest when String.length l > 0 && l.[0] = '+' -> begin
+        match acc with
+        | prev :: acc' ->
+            join ((prev ^ " " ^ String.sub l 1 (String.length l - 1)) :: acc') rest
+        | [] -> raise (Parse_error "continuation line '+' with nothing before it")
+      end
+    | l :: rest -> join (l :: acc) rest
+  in
+  join [] cleaned
+
+(* Split a card into tokens, keeping parenthesised groups attached to
+   the word before them: "pulse(0 1 2)" -> ["pulse(0 1 2)"]. *)
+let tokenize line =
+  let n = String.length line in
+  let buf = Buffer.create 16 in
+  let tokens = ref [] in
+  let depth = ref 0 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  for i = 0 to n - 1 do
+    let ch = line.[i] in
+    match ch with
+    | '(' ->
+        incr depth;
+        Buffer.add_char buf ch
+    | ')' ->
+        decr depth;
+        Buffer.add_char buf ch
+    | ' ' | '\t' | ',' when !depth = 0 -> flush ()
+    | _ -> Buffer.add_char buf ch
+  done;
+  flush ();
+  List.rev !tokens
+
+(* Extract "name(args)" -> (name, [arg tokens]); plain tokens return
+   (token, []). *)
+let call_form tok =
+  match String.index_opt tok '(' with
+  | None -> (String.lowercase_ascii tok, [])
+  | Some i ->
+      let name = String.lowercase_ascii (String.sub tok 0 i) in
+      let inner = String.sub tok (i + 1) (String.length tok - i - 1) in
+      let inner =
+        if String.length inner > 0 && inner.[String.length inner - 1] = ')' then
+          String.sub inner 0 (String.length inner - 1)
+        else inner
+      in
+      let args =
+        String.split_on_char ' ' (String.map (fun c -> if c = ',' then ' ' else c) inner)
+        |> List.filter (fun s -> s <> "")
+      in
+      (name, args)
+
+(* ------------------------------------------------------------------ *)
+(* Subcircuit expansion                                                *)
+(* ------------------------------------------------------------------ *)
+
+type subckt = {
+  ports : string list; (* lowercase port node names *)
+  body : string list; (* raw card lines *)
+}
+
+(* Separate .subckt blocks from top-level lines. *)
+let extract_subckts lines =
+  let defs = Hashtbl.create 4 in
+  let rec go acc current = function
+    | [] -> begin
+        match current with
+        | Some (name, _, _) ->
+            raise (Parse_error (Printf.sprintf ".subckt %s has no .ends" name))
+        | None -> List.rev acc
+      end
+    | line :: rest -> begin
+        let tokens = tokenize line in
+        match (List.map String.lowercase_ascii tokens, current) with
+        | ".subckt" :: name :: ports, None ->
+            if ports = [] then fail line ".subckt needs at least one port";
+            go acc (Some (name, ports, [])) rest
+        | ".subckt" :: _, Some _ -> fail line ".subckt definitions cannot nest"
+        | ".ends" :: _, Some (name, ports, body) ->
+            if Hashtbl.mem defs name then
+              fail line (Printf.sprintf "duplicate subcircuit %s" name);
+            Hashtbl.add defs name { ports; body = List.rev body };
+            go acc None rest
+        | ".ends" :: _, None -> fail line ".ends without .subckt"
+        | _, Some (name, ports, body) -> go acc (Some (name, ports, line :: body)) rest
+        | _, None -> go (line :: acc) None rest
+      end
+  in
+  let top = go [] None lines in
+  (defs, top)
+
+(* Rewrite one card of a subcircuit body for an instance: element names
+   get the instance prefix, port nodes map to the caller's nodes, other
+   non-ground nodes become instance-local. *)
+let instantiate_card ~line ~prefix ~node_map card =
+  match tokenize card with
+  | [] -> []
+  | head :: args ->
+      let map_node n =
+        let key = String.lowercase_ascii n in
+        if Circuit.is_ground n then n
+        else begin
+          match Hashtbl.find_opt node_map key with
+          | Some mapped -> mapped
+          | None -> prefix ^ "." ^ key
+        end
+      in
+      (* the first character encodes the element type, so the instance
+         prefix goes after it: MN1 in instance x1 -> "mx1.mn1" *)
+      let rename =
+        Printf.sprintf "%c%s.%s"
+          (Char.lowercase_ascii head.[0])
+          prefix
+          (String.lowercase_ascii head)
+      in
+      let rebuilt =
+        match (String.lowercase_ascii head).[0] with
+        | 'r' | 'c' | 'l' -> begin
+            match args with
+            | n1 :: n2 :: rest -> rename :: map_node n1 :: map_node n2 :: rest
+            | _ -> fail line (Printf.sprintf "bad card in subcircuit: %s" card)
+          end
+        | 'v' | 'i' -> begin
+            match args with
+            | np :: nn :: rest -> rename :: map_node np :: map_node nn :: rest
+            | _ -> fail line (Printf.sprintf "bad card in subcircuit: %s" card)
+          end
+        | 'm' -> begin
+            match args with
+            | d :: g :: srcn :: rest ->
+                rename :: map_node d :: map_node g :: map_node srcn :: rest
+            | _ -> fail line (Printf.sprintf "bad card in subcircuit: %s" card)
+          end
+        | 'x' -> begin
+            (* nested instance: all but the last argument are nodes *)
+            match List.rev args with
+            | sub :: rev_nodes ->
+                rename :: (List.rev_map map_node rev_nodes @ [ sub ])
+            | [] -> fail line (Printf.sprintf "bad instance in subcircuit: %s" card)
+          end
+        | '.' -> fail line "directives are not allowed inside .subckt"
+        | _ -> fail line (Printf.sprintf "unknown card in subcircuit: %s" card)
+      in
+      [ String.concat " " rebuilt ]
+
+(* Expand every X card, recursively, bounded depth. *)
+let rec expand_line defs ~depth line =
+  if depth > 20 then raise (Parse_error "subcircuit nesting deeper than 20");
+  match tokenize line with
+  | head :: args when (String.lowercase_ascii head).[0] = 'x' -> begin
+      match List.rev args with
+      | sub :: rev_nodes ->
+          let sub = String.lowercase_ascii sub in
+          let nodes = List.rev rev_nodes in
+          let def =
+            match Hashtbl.find_opt defs sub with
+            | Some d -> d
+            | None -> fail line (Printf.sprintf "unknown subcircuit %s" sub)
+          in
+          if List.length nodes <> List.length def.ports then
+            fail line
+              (Printf.sprintf "%s expects %d ports, got %d" sub
+                 (List.length def.ports) (List.length nodes));
+          let node_map = Hashtbl.create 8 in
+          List.iter2 (fun port node -> Hashtbl.add node_map port node) def.ports nodes;
+          List.concat_map
+            (fun card ->
+              List.concat_map
+                (expand_line defs ~depth:(depth + 1))
+                (instantiate_card ~line ~prefix:(String.lowercase_ascii head)
+                   ~node_map card))
+            def.body
+      | [] -> fail line "instance: Xname node... SUBCKT"
+    end
+  | _ -> [ line ]
+
+let expand_subckts lines =
+  let defs, top = extract_subckts lines in
+  List.concat_map (expand_line defs ~depth:0) top
+
+(* Split off a trailing "AC <magnitude>" pair from a source card's
+   value tokens. *)
+let split_ac line tokens =
+  let rec go acc = function
+    | [] -> (List.rev acc, 0.0)
+    | [ tok ] when String.lowercase_ascii tok = "ac" ->
+        fail line "AC keyword needs a magnitude"
+    | tok :: mag :: rest when String.lowercase_ascii tok = "ac" ->
+        if rest <> [] then fail line "AC magnitude must end the source card";
+        (List.rev acc, number line mag)
+    | tok :: rest -> go (tok :: acc) rest
+  in
+  go [] tokens
+
+(* Parse the value part of an independent source card. *)
+let source_wave line tokens =
+  match tokens with
+  | [] -> fail line "source needs a value"
+  | tok :: rest -> begin
+      let name, args = call_form tok in
+      match (name, args, rest) with
+      | "dc", [], v :: _ -> Waveform.dc (number line v)
+      | "dc", [ v ], _ -> Waveform.dc (number line v)
+      | "pulse", args, _ -> begin
+          match List.map (number line) args with
+          | [ v1; v2; td; tr; tf; pw; per ] ->
+              Waveform.pulse ~delay:td ~rise:tr ~fall:tf ~v1 ~v2 ~width:pw
+                ~period:per ()
+          | _ -> fail line "pulse needs 7 parameters (v1 v2 td tr tf pw per)"
+        end
+      | "sin", args, _ -> begin
+          match List.map (number line) args with
+          | [ vo; va; freq ] -> Waveform.sin_wave ~offset:vo ~amplitude:va ~freq ()
+          | [ vo; va; freq; td ] ->
+              Waveform.sin_wave ~delay:td ~offset:vo ~amplitude:va ~freq ()
+          | [ vo; va; freq; td; damping ] ->
+              Waveform.sin_wave ~delay:td ~damping ~offset:vo ~amplitude:va ~freq ()
+          | _ -> fail line "sin needs 3-5 parameters (vo va freq [td [damping]])"
+        end
+      | "pwl", args, _ -> begin
+          let nums = List.map (number line) args in
+          let rec pair = function
+            | [] -> []
+            | t :: v :: rest -> (t, v) :: pair rest
+            | [ _ ] -> fail line "pwl needs an even number of values"
+          in
+          Waveform.pwl (pair nums)
+        end
+      | _, [], _ -> Waveform.dc (number line tok)
+      | _ -> fail line (Printf.sprintf "unrecognised source value %S" tok)
+    end
+
+(* key=value attribute list for device cards. *)
+let attributes line tokens =
+  List.map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+          ( String.lowercase_ascii (String.sub tok 0 i),
+            String.sub tok (i + 1) (String.length tok - i - 1) )
+      | None -> fail line (Printf.sprintf "expected key=value, got %S" tok))
+    tokens
+
+(* Cache of fitted CNFET models, keyed by their full parameter set, so
+   a netlist with many identical transistors fits once. *)
+let model_cache : (string, Cnt_core.Cnt_model.t) Hashtbl.t = Hashtbl.create 8
+
+let cnfet_model line ~polarity attrs =
+  let get key default parse =
+    match List.assoc_opt key attrs with Some v -> parse v | None -> default
+  in
+  let num key default = get key default (fun v -> number line v) in
+  match List.assoc_opt "file" attrs with
+  | Some path ->
+      let length = num "l" 0.0 *. 1e-9 in
+      let m =
+        try Cnt_core.Model_io.load path
+        with
+        | Cnt_core.Model_io.Bad_model_file msg -> fail line msg
+        | Sys_error msg -> fail line msg
+      in
+      if Cnt_core.Cnt_model.polarity m <> polarity then
+        fail line
+          (Printf.sprintf "model file %s has the wrong polarity for this card" path);
+      (m, length)
+  | None ->
+  let temp = num "temp" 300.0 in
+  let fermi = num "ef" (-0.32) in
+  let diameter = num "d" 1.0 *. 1e-9 in
+  let tox = num "tox" 1.5 *. 1e-9 in
+  let kappa = num "kappa" 3.9 in
+  let alpha_g = num "alphag" 0.88 in
+  let alpha_d = num "alphad" 0.035 in
+  let model_no = int_of_float (num "model" 2.0) in
+  let optimise = num "optimise" 0.0 <> 0.0 in
+  let length = num "l" 0.0 *. 1e-9 in
+  let spec =
+    match model_no with
+    | 1 -> Cnt_core.Charge_fit.model1_spec
+    | 2 -> Cnt_core.Charge_fit.model2_spec
+    | n -> fail line (Printf.sprintf "unknown CNFET model=%d (use 1 or 2)" n)
+  in
+  let key =
+    Printf.sprintf "%s|%g|%g|%g|%g|%g|%g|%g|%d|%b"
+      (match polarity with Cnt_core.Cnt_model.N_type -> "n" | P_type -> "p")
+      temp fermi diameter tox kappa alpha_g alpha_d model_no optimise
+  in
+  match Hashtbl.find_opt model_cache key with
+  | Some m -> (m, length)
+  | None ->
+      let device =
+        Cnt_physics.Device.create ~temp ~fermi ~diameter ~oxide_thickness:tox
+          ~dielectric:kappa ~alpha_g ~alpha_d ()
+      in
+      let m = Cnt_core.Cnt_model.make ~polarity ~spec ~optimise device in
+      Hashtbl.add model_cache key m;
+      (m, length)
+
+let parse_print line tokens =
+  List.map
+    (fun tok ->
+      match call_form tok with
+      | "v", [ node ] -> Print_v (String.lowercase_ascii node)
+      | "i", [ src ] -> Print_i (String.lowercase_ascii src)
+      | "id", [ dev ] -> Print_id (String.lowercase_ascii dev)
+      | _ ->
+          fail line
+            (Printf.sprintf
+               "bad print item %S (use v(node), i(vsrc) or id(device))" tok))
+    tokens
+
+let parse text =
+  match logical_lines text with
+  | [] -> raise (Parse_error "empty netlist")
+  | first :: rest ->
+      (* SPICE treats the first line as the title unless it looks like
+         a card we recognise *)
+      let looks_like_card l =
+        match (String.lowercase_ascii l).[0] with
+        | '.' -> true
+        (* element cards have at least a name and three operands *)
+        | 'r' | 'c' | 'l' | 'v' | 'i' | 'm' | 'x' -> List.length (tokenize l) >= 4
+        | _ -> false
+      in
+      let title, lines =
+        if looks_like_card first then ("untitled", first :: rest) else (first, rest)
+      in
+      let lines = expand_subckts lines in
+      let elements = ref [] and analyses = ref [] and prints = ref [] in
+      let ended = ref false in
+      List.iter
+        (fun line ->
+          if not !ended then begin
+            match tokenize line with
+            | [] -> ()
+            | head :: args -> begin
+                let h = String.lowercase_ascii head in
+                match h.[0] with
+                | '.' -> begin
+                    match (h, args) with
+                    | ".end", _ -> ended := true
+                    | ".op", _ -> analyses := Op :: !analyses
+                    | ".dc", [ src; a; b; s ] ->
+                        analyses :=
+                          Dc_sweep
+                            {
+                              source = String.lowercase_ascii src;
+                              start = number line a;
+                              stop = number line b;
+                              step = number line s;
+                            }
+                          :: !analyses
+                    | ".tran", [ ts; tstop ] ->
+                        analyses :=
+                          Tran { tstep = number line ts; tstop = number line tstop }
+                          :: !analyses
+                    | ".ac", [ kind; n; fstart; fstop ]
+                      when String.lowercase_ascii kind = "dec" ->
+                        analyses :=
+                          Ac_sweep
+                            {
+                              per_decade = int_of_float (number line n);
+                              fstart = number line fstart;
+                              fstop = number line fstop;
+                            }
+                          :: !analyses
+                    | ".ac", _ ->
+                        fail line ".ac needs: .ac dec <points/decade> <fstart> <fstop>"
+                    | ".print", items -> prints := !prints @ parse_print line items
+                    | _ -> fail line (Printf.sprintf "unknown directive %s" h)
+                  end
+                | 'r' -> begin
+                    match args with
+                    | [ n1; n2; v ] ->
+                        elements := Circuit.resistor head n1 n2 (number line v) :: !elements
+                    | _ -> fail line "resistor: Rname n1 n2 value"
+                  end
+                | 'c' -> begin
+                    match args with
+                    | [ n1; n2; v ] ->
+                        elements := Circuit.capacitor head n1 n2 (number line v) :: !elements
+                    | _ -> fail line "capacitor: Cname n1 n2 value"
+                  end
+                | 'l' -> begin
+                    match args with
+                    | [ n1; n2; v ] ->
+                        elements := Circuit.inductor head n1 n2 (number line v) :: !elements
+                    | _ -> fail line "inductor: Lname n1 n2 value"
+                  end
+                | 'v' -> begin
+                    match args with
+                    | np :: nn :: value ->
+                        let value, ac = split_ac line value in
+                        elements :=
+                          Circuit.vsource ~ac head np nn (source_wave line value)
+                          :: !elements
+                    | _ -> fail line "vsource: Vname n+ n- value [AC mag]"
+                  end
+                | 'i' -> begin
+                    match args with
+                    | np :: nn :: value ->
+                        let value, ac = split_ac line value in
+                        elements :=
+                          Circuit.isource ~ac head np nn (source_wave line value)
+                          :: !elements
+                    | _ -> fail line "isource: Iname n+ n- value [AC mag]"
+                  end
+                | 'm' -> begin
+                    match args with
+                    | d :: g :: s :: kind :: attrs_toks -> begin
+                        let polarity =
+                          match String.lowercase_ascii kind with
+                          | "cnfet" -> Cnt_core.Cnt_model.N_type
+                          | "pcnfet" -> Cnt_core.Cnt_model.P_type
+                          | k -> fail line (Printf.sprintf "unknown device kind %S" k)
+                        in
+                        let model, length =
+                          cnfet_model line ~polarity (attributes line attrs_toks)
+                        in
+                        elements :=
+                          Circuit.cnfet ~length head ~drain:d ~gate:g ~source:s model
+                          :: !elements
+                      end
+                    | _ -> fail line "cnfet: Mname drain gate source CNFET|PCNFET [key=value...]"
+                  end
+                | _ -> fail line (Printf.sprintf "unknown card %S" head)
+              end
+          end)
+        lines;
+      {
+        title;
+        circuit = Circuit.create (List.rev !elements);
+        analyses = List.rev !analyses;
+        prints = !prints;
+      }

@@ -1,0 +1,43 @@
+(** Parser for a small SPICE-like netlist dialect with CNFET device
+    cards.  See the implementation header for the accepted grammar. *)
+
+exception Parse_error of string
+
+type print_item =
+  | Print_v of string  (** [v(node)] *)
+  | Print_i of string  (** [i(vsource)] *)
+  | Print_id of string  (** [id(cnfet)]: drain current of a device *)
+
+type analysis =
+  | Op
+  | Dc_sweep of {
+      source : string;
+      start : float;
+      stop : float;
+      step : float;
+    }
+  | Tran of {
+      tstep : float;
+      tstop : float;
+    }
+  | Ac_sweep of {
+      per_decade : int;
+      fstart : float;
+      fstop : float;
+    }
+
+type deck = {
+  title : string;
+  circuit : Circuit.t;
+  analyses : analysis list;
+  prints : print_item list;
+}
+
+val number : string -> string -> float
+(** [number context token] parses a SPICE number with engineering
+    suffix (f p n u m k meg g t); [context] appears in error
+    messages. *)
+
+val parse : string -> deck
+(** Parse a netlist text.  Raises {!Parse_error} with a message naming
+    the offending card. *)

@@ -1,0 +1,37 @@
+(** Transient analysis: implicit time stepping (backward Euler or
+    trapezoidal) with a Newton solve per step and automatic step
+    halving on convergence failure. *)
+
+exception Analysis_error of string
+
+type method_ =
+  | Backward_euler
+  | Trapezoidal
+
+type result = {
+  compiled : Mna.compiled;
+  times : float array;
+  solutions : float array array;
+}
+
+val run :
+  ?method_:method_ ->
+  ?gmin:float ->
+  ?max_newton:int ->
+  ?initial_condition:float array ->
+  Circuit.t ->
+  tstep:float ->
+  tstop:float ->
+  result
+(** Integrate from the DC operating point (or a supplied initial
+    condition) to [tstop] with nominal step [tstep] (trapezoidal by
+    default). *)
+
+val voltage : result -> string -> float array
+(** Waveform of a node voltage across the stored time points. *)
+
+val vsource_current : result -> string -> float array
+
+val crossing_times :
+  ?rising:bool -> result -> string -> float -> float array
+(** Interpolated times at which a node voltage crosses a level. *)

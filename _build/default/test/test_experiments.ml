@@ -1,0 +1,409 @@
+(* Tests for the reproduction harness: workloads, RMS tables, timing,
+   synthetic experimental data, figures and orchestration. *)
+
+open Cnt_numerics
+open Cnt_experiments
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if not (Special.approx_equal ~atol:eps ~rtol:eps expected actual) then
+    Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* one shared tuned condition; building it is the expensive part *)
+let central = lazy (Workloads.condition ~temp:300.0 ~fermi:(-0.32) ())
+
+(* ------------------------------------------------------------------ *)
+(* Ascii_plot                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_plot_renders () =
+  let xs = Grid.linspace 0.0 1.0 20 in
+  let s = Ascii_plot.series ~label:"sin" xs (Array.map sin xs) in
+  let out = Ascii_plot.render ~width:40 ~height:10 ~title:"t" [ s ] in
+  Alcotest.(check bool) "has title" true (String.length out > 0 && out.[0] = 't');
+  Alcotest.(check bool) "has legend" true
+    (String.length out > 0
+    && String.split_on_char '\n' out |> List.exists (fun l ->
+           String.length l > 0 &&
+           String.ends_with ~suffix:"sin" l))
+
+let test_plot_rejects_mismatch () =
+  Alcotest.(check bool) "length mismatch" true
+    (match Ascii_plot.series ~label:"x" [| 1.0 |] [| 1.0; 2.0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_plot_rejects_empty () =
+  Alcotest.(check bool) "no series" true
+    (match Ascii_plot.render [] with exception Invalid_argument _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_grids () =
+  Alcotest.(check int) "61 vds points" 61 (Array.length Workloads.vds_points);
+  check_close "vds end" 0.6 Workloads.vds_points.(60);
+  Alcotest.(check int) "7 family gates" 7 (List.length Workloads.family_vgs);
+  Alcotest.(check int) "427 bias points" 427 Workloads.family_size
+
+let test_workload_build () =
+  let m = Lazy.force central in
+  let c1 = Workloads.reference_curve m ~vgs:0.5 in
+  Alcotest.(check int) "curve length" 61 (Array.length c1);
+  Alcotest.(check bool) "current rises" true (c1.(60) > c1.(1))
+
+let test_model_curves_close () =
+  let m = Lazy.force central in
+  let reference = Workloads.reference_curve m ~vgs:0.5 in
+  let m2 = Workloads.model_curve m.Workloads.model2 ~vgs:0.5 in
+  Alcotest.(check bool) "within 5%" true
+    (Stats.relative_rms_error reference m2 < 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Rms_tables                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_rms_table_small () =
+  (* reduced grid to keep the test quick: one temperature, two gates *)
+  let t = Rms_tables.compute ~temps:[ 300.0 ] ~vgs_list:[ 0.4; 0.6 ] (-0.32) in
+  Alcotest.(check int) "cells" 2 (List.length t.Rms_tables.cells);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "model2 within paper band" true
+        (c.Rms_tables.model2_error < 0.05);
+      Alcotest.(check bool) "errors nonnegative" true
+        (c.Rms_tables.model1_error >= 0.0 && c.Rms_tables.model2_error >= 0.0))
+    t.Rms_tables.cells;
+  (* rendering *)
+  let s = Rms_tables.to_string t in
+  Alcotest.(check bool) "mentions fermi level" true
+    (String.length s > 0 &&
+     String.split_on_char '\n' s |> List.exists (fun l ->
+         String.length l >= 3 && String.sub l 0 3 = "Ave"));
+  let csv = Rms_tables.to_csv t in
+  Alcotest.(check int) "csv rows" 3 (List.length (String.split_on_char '\n' (String.trim csv)))
+
+let test_rms_table_lookup () =
+  let t = Rms_tables.compute ~temps:[ 300.0 ] ~vgs_list:[ 0.5 ] (-0.32) in
+  Alcotest.(check bool) "cell found" true
+    (Rms_tables.cell t ~vgs:0.5 ~temp:300.0 <> None);
+  Alcotest.(check bool) "cell missing" true
+    (Rms_tables.cell t ~vgs:0.1 ~temp:300.0 = None);
+  Alcotest.(check bool) "summaries" true
+    (Rms_tables.worst_error t `Model1 >= Rms_tables.mean_error t `Model1 -. 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_timing_speedup () =
+  let m = Lazy.force central in
+  let r = Timing.measure ~loop_counts:[ 1; 2 ] ~reference_cap:1 m in
+  Alcotest.(check int) "rows" 2 (List.length r.Timing.rows);
+  (* the headline claim: both models are > 100x faster even in this
+     reduced measurement (the paper reports > 1000x at full loops) *)
+  Alcotest.(check bool) "model1 speedup" true (r.Timing.model1_speedup > 100.0);
+  Alcotest.(check bool) "model2 speedup" true (r.Timing.model2_speedup > 100.0);
+  (* reference cost scales linearly by construction *)
+  (match r.Timing.rows with
+  | [ r1; r2 ] ->
+      check_close ~eps:1e-9 "linear scaling"
+        (2.0 *. r1.Timing.reference_seconds)
+        r2.Timing.reference_seconds
+  | _ -> Alcotest.fail "expected two rows");
+  Alcotest.(check bool) "renders" true (String.length (Timing.to_string r) > 0);
+  Alcotest.(check bool) "csv" true (String.length (Timing.to_csv r) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Experimental (synthetic Javey data)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_measure_deterministic () =
+  let m = Lazy.force central in
+  let a = Experimental.measure m.Workloads.reference ~vgs:0.4 ~vds:0.3 in
+  let b = Experimental.measure m.Workloads.reference ~vgs:0.4 ~vds:0.3 in
+  check_close ~eps:0.0 "bitwise deterministic" a b
+
+let test_measure_below_ballistic () =
+  let m = Lazy.force central in
+  let ref_i = Cnt_physics.Fettoy.ids m.Workloads.reference ~vgs:0.5 ~vds:0.3 in
+  let meas = Experimental.measure m.Workloads.reference ~vgs:0.5 ~vds:0.3 in
+  (* transmission < 1 and series resistance keep the synthetic
+     measurement below the ballistic limit, up to the ripple *)
+  Alcotest.(check bool) "sub-ballistic" true (meas < ref_i *. 1.02)
+
+let test_table5_band () =
+  let rows = Experimental.table ~tuned:false () in
+  Alcotest.(check int) "three gate voltages" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "fettoy error in single-digit band" true
+        (r.Experimental.fettoy_error > 0.02 && r.Experimental.fettoy_error < 0.15);
+      Alcotest.(check bool) "models track the measurement" true
+        (r.Experimental.model1_error < 0.25 && r.Experimental.model2_error < 0.2))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig2_structure () =
+  let fig = Figures.fig2 ~models:(Lazy.force central) () in
+  (* theory + 3 regions *)
+  Alcotest.(check int) "series count" 4 (List.length fig.Figures.series);
+  Alcotest.(check string) "id" "fig2" fig.Figures.id
+
+let test_fig3_structure () =
+  let fig = Figures.fig3 ~models:(Lazy.force central) () in
+  Alcotest.(check int) "series count" 5 (List.length fig.Figures.series)
+
+let test_fig4_model_tracks_theory () =
+  (* Model 1 (three pieces) tracks the charge curve loosely; Model 2
+     must track it tightly *)
+  let fig4 = Figures.fig4 ~models:(Lazy.force central) () in
+  (match fig4.Figures.series with
+  | [ (_, _, qs_theory); (_, _, qs_fit); _; _ ] ->
+      Alcotest.(check bool) "model 1 QS fit in band" true
+        (Stats.relative_rms_error qs_theory qs_fit < 0.4)
+  | _ -> Alcotest.fail "unexpected series layout");
+  let fig5 = Figures.fig5 ~models:(Lazy.force central) () in
+  match fig5.Figures.series with
+  | [ (_, _, qs_theory); (_, _, qs_fit); _; _ ] ->
+      Alcotest.(check bool) "model 2 QS fit tight" true
+        (Stats.relative_rms_error qs_theory qs_fit < 0.08)
+  | _ -> Alcotest.fail "unexpected series layout"
+
+let test_fig6_families () =
+  let fig = Figures.fig6 ~models:(Lazy.force central) () in
+  (* 7 gate voltages x (ref + model) *)
+  Alcotest.(check int) "series" 14 (List.length fig.Figures.series);
+  (* every model curve is within 15% RMS of its reference curve *)
+  let rec pairs = function
+    | (_, _, r) :: (_, _, m) :: rest -> (r, m) :: pairs rest
+    | _ -> []
+  in
+  List.iter
+    (fun (r, m) ->
+      Alcotest.(check bool) "curve tracks" true (Stats.relative_rms_error r m < 0.15))
+    (pairs fig.Figures.series)
+
+let test_figure_csv_ascii () =
+  let fig = Figures.fig2 ~models:(Lazy.force central) () in
+  let csv = Figures.to_csv fig in
+  Alcotest.(check bool) "csv non-empty" true (String.length csv > 100);
+  let ascii = Figures.to_ascii fig in
+  Alcotest.(check bool) "ascii non-empty" true (String.length ascii > 100)
+
+(* ------------------------------------------------------------------ *)
+(* Repro orchestration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_repro_ids () =
+  (* 15 paper experiments + 4 ablations + the variation study *)
+  Alcotest.(check int) "20 experiments" 20 (List.length Repro.experiment_ids)
+
+let test_repro_unknown () =
+  Alcotest.(check bool) "raises" true
+    (match Repro.run "table99" with exception Invalid_argument _ -> true | _ -> false)
+
+let test_repro_save () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "cnt_repro_test" in
+  let artefact = { Repro.name = "unit_test"; text = "t"; csv = "a,b\n1,2\n" } in
+  let path = Repro.save ~dir artefact in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "content" "a,b" line
+
+
+(* ------------------------------------------------------------------ *)
+(* Variation and ablations                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_variation_deterministic () =
+  let config = { Variation.default_config with count = 20 } in
+  let a = Variation.run ~config () in
+  let b = Variation.run ~config () in
+  Alcotest.(check bool) "same seed, same samples" true (a.Variation.samples = b.Variation.samples)
+
+let test_variation_spread_sane () =
+  let config = { Variation.default_config with count = 50 } in
+  let s = Variation.run ~config () in
+  Alcotest.(check bool) "sigma positive" true (s.Variation.sigma > 0.0);
+  Alcotest.(check bool) "min < mean < max" true
+    (s.Variation.minimum < s.Variation.mean && s.Variation.mean < s.Variation.maximum);
+  (* 5% geometry sigma should give single-digit-percent current sigma *)
+  Alcotest.(check bool) "spread scale" true
+    (s.Variation.sigma /. s.Variation.mean > 0.005
+    && s.Variation.sigma /. s.Variation.mean < 0.3)
+
+let test_variation_zero_sigma_collapses () =
+  let config =
+    { Variation.default_config with count = 5; diameter_sigma = 0.0; tox_sigma = 0.0 }
+  in
+  let s = Variation.run ~config () in
+  check_close ~eps:1e-12 "no spread" 0.0 s.Variation.sigma;
+  check_close ~eps:1e-9 "equals nominal" s.Variation.nominal s.Variation.mean
+
+let test_tail_ablation_ordering () =
+  (* the asymptotic tail must beat the zero tail at EF = 0: this is the
+     design-choice regression test *)
+  match Ablations.tail_ablation () with
+  | [ zero; asym ] ->
+      Alcotest.(check bool) "asymptotic wins" true
+        (asym.Ablations.current_rms < zero.Ablations.current_rms);
+      Alcotest.(check bool) "by a wide margin" true
+        (asym.Ablations.current_rms < 0.5 *. zero.Ablations.current_rms)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_ablation_rendering () =
+  let rows =
+    [ { Ablations.label = "a"; charge_rms = 0.01; current_rms = 0.02 } ]
+  in
+  Alcotest.(check bool) "text" true
+    (String.length (Ablations.to_string ~title:"t" rows) > 10);
+  Alcotest.(check bool) "csv" true
+    (String.length (Ablations.to_csv rows) > 10)
+
+
+(* ------------------------------------------------------------------ *)
+(* Additional figure/structure coverage                                *)
+(* ------------------------------------------------------------------ *)
+
+let untuned_experimental =
+  lazy (Experimental.run ~tuned:false ~vgs_list:[ 0.2; 0.6 ] ())
+
+let test_fig10_11_structure () =
+  let r = Lazy.force untuned_experimental in
+  let fig10 = Figures.fig10 ~result:r () in
+  let fig11 = Figures.fig11 ~result:r () in
+  (* 2 gate voltages x (exp + fettoy + model) *)
+  Alcotest.(check int) "fig10 series" 6 (List.length fig10.Figures.series);
+  Alcotest.(check int) "fig11 series" 6 (List.length fig11.Figures.series);
+  (* every series spans the 41-point drain grid *)
+  List.iter
+    (fun (_, xs, ys) ->
+      Alcotest.(check int) "x points" 41 (Array.length xs);
+      Alcotest.(check int) "y points" 41 (Array.length ys))
+    fig10.Figures.series
+
+let test_experimental_models_track_measurement () =
+  let r = Lazy.force untuned_experimental in
+  List.iter
+    (fun (c : Experimental.comparison) ->
+      Alcotest.(check bool) "reference within 20% RMS" true
+        (Stats.relative_rms_error c.Experimental.measured c.Experimental.reference < 0.2))
+    r.Experimental.comparisons
+
+let test_fig2_zero_region_is_constant () =
+  let fig = Figures.fig2 ~models:(Lazy.force central) () in
+  (* last region series must be (nearly) constant *)
+  match List.rev fig.Figures.series with
+  | (_, _, ys) :: _ ->
+      let spread = Stats.maximum ys -. Stats.minimum ys in
+      Alcotest.(check bool) "flat tail" true (Float.abs spread < 1e-13)
+  | [] -> Alcotest.fail "no series"
+
+let test_figure_csv_shape () =
+  let fig = Figures.fig4 ~models:(Lazy.force central) () in
+  let csv = Figures.to_csv fig in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (* header comment + 4 series x (1 header + 120 points) *)
+  Alcotest.(check int) "line count" (1 + (4 * 121)) (List.length lines)
+
+let test_workload_family_consistency () =
+  let m = Lazy.force central in
+  let fam = Workloads.model_family m.Workloads.model2 in
+  Alcotest.(check int) "7 gate curves" 7 (List.length fam);
+  List.iter
+    (fun (vgs, curve) ->
+      Alcotest.(check int) "61 points" 61 (Array.length curve);
+      (* family agrees with the pointwise api *)
+      check_close ~eps:1e-12 "pointwise match" curve.(30)
+        (Cnt_core.Cnt_model.ids m.Workloads.model2 ~vgs
+           ~vds:Workloads.vds_points.(30)))
+    fam
+
+let test_timing_csv_shape () =
+  let m = Lazy.force central in
+  let r = Timing.measure ~loop_counts:[ 1 ] ~reference_cap:1 m in
+  let lines = String.split_on_char '\n' (String.trim (Timing.to_csv r)) in
+  Alcotest.(check int) "header + one row" 2 (List.length lines)
+
+let test_piece_count_ablation_monotone () =
+  (* more pieces never hurt much: 4+ pieces beat the 2-piece collapse *)
+  let rows = Ablations.piece_count_ablation () in
+  Alcotest.(check int) "five configurations" 5 (List.length rows);
+  let err label =
+    (List.find (fun r -> r.Ablations.label = label) rows).Ablations.current_rms
+  in
+  Alcotest.(check bool) "2-piece collapses" true
+    (err "2 pieces (lin/zero)" > 0.5);
+  Alcotest.(check bool) "4 pieces beat 3" true
+    (err "4 pieces (Model 2)" < err "3 pieces (Model 1)")
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "cnt_experiments"
+    [
+      ( "ascii_plot",
+        [
+          tc "renders" test_plot_renders;
+          tc "rejects mismatch" test_plot_rejects_mismatch;
+          tc "rejects empty" test_plot_rejects_empty;
+        ] );
+      ( "workloads",
+        [
+          tc "paper grids" test_workload_grids;
+          tc "build and reference curve" test_workload_build;
+          tc "model curves close" test_model_curves_close;
+        ] );
+      ( "rms_tables",
+        [
+          tc "reduced table" test_rms_table_small;
+          tc "cell lookup and summaries" test_rms_table_lookup;
+        ] );
+      ("timing", [ tc "speedup measurement" test_timing_speedup ]);
+      ( "experimental",
+        [
+          tc "deterministic" test_measure_deterministic;
+          tc "sub-ballistic" test_measure_below_ballistic;
+          tc "table V bands" test_table5_band;
+        ] );
+      ( "figures",
+        [
+          tc "fig2 structure" test_fig2_structure;
+          tc "fig3 structure" test_fig3_structure;
+          tc "fig4 fit tracks theory" test_fig4_model_tracks_theory;
+          tc "fig6 families" test_fig6_families;
+          tc "csv and ascii rendering" test_figure_csv_ascii;
+        ] );
+      ( "figures_extra",
+        [
+          tc "fig10/11 structure" test_fig10_11_structure;
+          tc "models track measurement" test_experimental_models_track_measurement;
+          tc "fig2 zero region flat" test_fig2_zero_region_is_constant;
+          tc "csv shape" test_figure_csv_shape;
+          tc "workload family consistency" test_workload_family_consistency;
+          tc "timing csv shape" test_timing_csv_shape;
+          tc "piece-count ablation" test_piece_count_ablation_monotone;
+        ] );
+      ( "variation",
+        [
+          tc "deterministic" test_variation_deterministic;
+          tc "spread sane" test_variation_spread_sane;
+          tc "zero sigma collapses" test_variation_zero_sigma_collapses;
+        ] );
+      ( "ablations",
+        [
+          tc "tail ordering at EF=0" test_tail_ablation_ordering;
+          tc "rendering" test_ablation_rendering;
+        ] );
+      ( "repro",
+        [
+          tc "experiment ids" test_repro_ids;
+          tc "unknown id" test_repro_unknown;
+          tc "artefact saving" test_repro_save;
+        ] );
+    ]

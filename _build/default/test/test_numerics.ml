@@ -1,0 +1,943 @@
+(* Tests for the numerical substrate: quadrature, root finding,
+   polynomials, linear algebra, fitting, optimisation, interpolation,
+   ODE integration and statistics. *)
+
+open Cnt_numerics
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if not (Special.approx_equal ~atol:eps ~rtol:eps expected actual) then
+    Alcotest.failf "%s: expected %.15g, got %.15g (diff %.3g)" msg expected actual
+      (Float.abs (expected -. actual))
+
+(* ------------------------------------------------------------------ *)
+(* Grid                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_linspace_endpoints () =
+  let g = Grid.linspace (-1.0) 2.0 7 in
+  Alcotest.(check int) "length" 7 (Array.length g);
+  check_close "first" (-1.0) g.(0);
+  check_close "last" 2.0 g.(6);
+  check_close "step" 0.5 (g.(1) -. g.(0))
+
+let test_linspace_single () =
+  let g = Grid.linspace 3.0 9.0 1 in
+  Alcotest.(check int) "length" 1 (Array.length g);
+  check_close "value" 3.0 g.(0)
+
+let test_linspace_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Grid.linspace: n must be positive")
+    (fun () -> ignore (Grid.linspace 0.0 1.0 0))
+
+let test_logspace () =
+  let g = Grid.logspace 1.0 1000.0 4 in
+  check_close ~eps:1e-12 "g1" 10.0 g.(1);
+  check_close ~eps:1e-12 "g2" 100.0 g.(2)
+
+let test_arange () =
+  let g = Grid.arange 0.0 1.0 0.25 in
+  Alcotest.(check int) "length" 5 (Array.length g);
+  check_close "last" 1.0 g.(4)
+
+let test_bracket () =
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
+  Alcotest.(check int) "below" (-1) (Grid.bracket xs (-0.5));
+  Alcotest.(check int) "exact first" 0 (Grid.bracket xs 0.0);
+  Alcotest.(check int) "interior" 1 (Grid.bracket xs 1.5);
+  Alcotest.(check int) "on boundary" 2 (Grid.bracket xs 2.0);
+  Alcotest.(check int) "above" 3 (Grid.bracket xs 7.0)
+
+let test_midpoints () =
+  let m = Grid.midpoints [| 0.0; 2.0; 6.0 |] in
+  check_close "m0" 1.0 m.(0);
+  check_close "m1" 4.0 m.(1)
+
+let test_is_sorted () =
+  Alcotest.(check bool) "sorted" true (Grid.is_sorted [| 1.0; 2.0; 2.0; 5.0 |]);
+  Alcotest.(check bool) "unsorted" false (Grid.is_sorted [| 1.0; 0.5 |])
+
+(* ------------------------------------------------------------------ *)
+(* Special functions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_log1p_exp () =
+  check_close "at 0" (log 2.0) (Special.log1p_exp 0.0);
+  check_close "large" 1000.0 (Special.log1p_exp 1000.0);
+  check_close ~eps:1e-15 "very negative" (exp (-100.0)) (Special.log1p_exp (-100.0));
+  Alcotest.(check bool) "finite at +-1e6" true
+    (Float.is_finite (Special.log1p_exp 1e6) && Float.is_finite (Special.log1p_exp (-1e6)))
+
+let test_logistic () =
+  check_close "at 0" 0.5 (Special.logistic 0.0);
+  check_close ~eps:1e-12 "symmetry" 1.0 (Special.logistic 3.0 +. Special.logistic (-3.0));
+  check_close "saturates high" 0.0 (Special.logistic 800.0);
+  check_close "saturates low" 1.0 (Special.logistic (-800.0))
+
+let test_logistic_derivative () =
+  (* compare against a central difference *)
+  let x = 1.3 in
+  let h = 1e-6 in
+  let fd = (Special.logistic (x +. h) -. Special.logistic (x -. h)) /. (2.0 *. h) in
+  check_close ~eps:1e-8 "matches finite difference" fd (Special.logistic' x)
+
+let test_cbrt () =
+  check_close "positive" 2.0 (Special.cbrt 8.0);
+  check_close "negative" (-3.0) (Special.cbrt (-27.0));
+  check_close "zero" 0.0 (Special.cbrt 0.0)
+
+let test_signum () =
+  check_close "pos" 1.0 (Special.signum 0.3);
+  check_close "neg" (-1.0) (Special.signum (-7.0));
+  check_close "zero" 0.0 (Special.signum 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Quadrature                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_simpson_cubic_exact () =
+  (* Simpson integrates cubics exactly *)
+  let f x = (2.0 *. x *. x *. x) -. x +. 1.0 in
+  check_close ~eps:1e-12 "cubic" 2.0 (Quadrature.simpson f 0.0 2.0 2 +. 0.0 -. 6.0 +. 0.0)
+    (* int_0^2 2x^3 - x + 1 = 8 - 2 + 2 = 8 *)
+    |> ignore;
+  check_close ~eps:1e-12 "cubic value" 8.0 (Quadrature.simpson f 0.0 2.0 2)
+
+let test_trapezoid_linear_exact () =
+  (* int_0^2 (3x + 1) dx = 6 + 2 = 8, exact with a single panel *)
+  let f x = (3.0 *. x) +. 1.0 in
+  check_close ~eps:1e-12 "linear" 8.0 (Quadrature.trapezoid f 0.0 2.0 1)
+
+let test_adaptive_simpson_exp () =
+  check_close ~eps:1e-10 "exp" (Float.exp 1.0 -. 1.0)
+    (Quadrature.adaptive_simpson exp 0.0 1.0)
+
+let test_adaptive_simpson_oscillatory () =
+  (* int_0^pi sin = 2 *)
+  check_close ~eps:1e-10 "sin" 2.0 (Quadrature.adaptive_simpson sin 0.0 Float.pi)
+
+let test_adaptive_gk () =
+  check_close ~eps:1e-9 "gauss-kronrod sin" 2.0 (Quadrature.adaptive_gk sin 0.0 Float.pi);
+  check_close ~eps:1e-9 "gk sharp peak" (Float.atan 100.0 *. 2.0)
+    (Quadrature.adaptive_gk (fun x -> 100.0 /. (1.0 +. (10000.0 *. x *. x))) (-1.0) 1.0)
+
+let test_gk15_error_estimate () =
+  let v, e = Quadrature.gk15 sin 0.0 1.0 in
+  check_close ~eps:1e-10 "value" (1.0 -. cos 1.0) v;
+  Alcotest.(check bool) "error small" true (e < 1e-8)
+
+let test_romberg () =
+  check_close ~eps:1e-9 "romberg exp" (Float.exp 1.0 -. 1.0) (Quadrature.romberg exp 0.0 1.0);
+  check_close ~eps:1e-9 "romberg poly" (1.0 /. 3.0)
+    (Quadrature.romberg (fun x -> x *. x) 0.0 1.0)
+
+let test_integrate_to_infinity () =
+  (* int_0^inf e^-x = 1 *)
+  check_close ~eps:1e-8 "exp decay" 1.0
+    (Quadrature.integrate_to_infinity (fun x -> exp (-.x)) 0.0);
+  (* int_1^inf 1/x^2 = 1 *)
+  check_close ~eps:1e-7 "power decay" 1.0
+    (Quadrature.integrate_to_infinity (fun x -> 1.0 /. (x *. x)) 1.0)
+
+let test_empty_interval () =
+  check_close "a=b" 0.0 (Quadrature.adaptive_simpson sin 1.0 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Root finding                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_bisect_sqrt2 () =
+  let r = Rootfind.bisect (fun x -> (x *. x) -. 2.0) 0.0 2.0 in
+  check_close ~eps:1e-10 "sqrt 2" (sqrt 2.0) r.Rootfind.root
+
+let test_bisect_no_bracket () =
+  Alcotest.(check bool) "raises" true
+    (match Rootfind.bisect (fun x -> (x *. x) +. 1.0) (-1.0) 1.0 with
+    | exception Rootfind.No_bracket _ -> true
+    | _ -> false)
+
+let test_newton_quadratic () =
+  let r = Rootfind.newton ~f:(fun x -> (x *. x) -. 9.0) ~f':(fun x -> 2.0 *. x) 5.0 in
+  check_close ~eps:1e-12 "root 3" 3.0 r.Rootfind.root;
+  Alcotest.(check bool) "few iterations" true (r.Rootfind.iterations < 10)
+
+let test_newton_zero_derivative () =
+  Alcotest.(check bool) "raises" true
+    (match Rootfind.newton ~f:(fun x -> (x *. x) -. 9.0) ~f':(fun _ -> 0.0) 5.0 with
+    | exception Rootfind.Not_converged _ -> true
+    | _ -> false)
+
+let test_secant () =
+  let r = Rootfind.secant (fun x -> exp x -. 2.0) 0.0 1.0 in
+  check_close ~eps:1e-10 "ln 2" (log 2.0) r.Rootfind.root
+
+let test_brent_transcendental () =
+  let r = Rootfind.brent (fun x -> cos x -. x) 0.0 1.0 in
+  check_close ~eps:1e-10 "dottie number" 0.7390851332151607 r.Rootfind.root
+
+let test_ridders () =
+  let r = Rootfind.ridders (fun x -> (x *. x *. x) -. 7.0) 1.0 3.0 in
+  check_close ~eps:1e-9 "cbrt 7" (Special.cbrt 7.0) r.Rootfind.root
+
+let test_newton_bracketed_stiff () =
+  (* steep exponential: plain Newton from the middle would overshoot *)
+  let f x = exp (20.0 *. x) -. 1.0 in
+  let f' x = 20.0 *. exp (20.0 *. x) in
+  let r = Rootfind.newton_bracketed ~f ~f' (-5.0) 5.0 in
+  check_close ~eps:1e-9 "root 0" 0.0 r.Rootfind.root
+
+let test_bracket_endpoint_root () =
+  let r = Rootfind.brent (fun x -> x) 0.0 1.0 in
+  check_close "at endpoint" 0.0 r.Rootfind.root;
+  Alcotest.(check int) "no iterations" 0 r.Rootfind.iterations
+
+(* ------------------------------------------------------------------ *)
+(* Polynomials                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_poly_eval_horner () =
+  let p = Polynomial.of_coeffs [| 1.0; -2.0; 3.0 |] in
+  (* 1 - 2x + 3x^2 at x=2 -> 1 - 4 + 12 = 9 *)
+  check_close "eval" 9.0 (Polynomial.eval p 2.0)
+
+let test_poly_eval_with_derivative () =
+  let p = Polynomial.of_coeffs [| 5.0; 0.0; 1.0; 2.0 |] in
+  let v, d = Polynomial.eval_with_derivative p 1.5 in
+  check_close "value" (Polynomial.eval p 1.5) v;
+  check_close "deriv" (Polynomial.eval (Polynomial.derivative p) 1.5) d
+
+let test_poly_arithmetic () =
+  let p = Polynomial.of_coeffs [| 1.0; 1.0 |] in
+  let q = Polynomial.of_coeffs [| -1.0; 1.0 |] in
+  (* (x+1)(x-1) = x^2 - 1 *)
+  Alcotest.(check bool) "mul" true
+    (Polynomial.equal (Polynomial.mul p q) (Polynomial.of_coeffs [| -1.0; 0.0; 1.0 |]));
+  Alcotest.(check bool) "add" true
+    (Polynomial.equal (Polynomial.add p q) (Polynomial.of_coeffs [| 0.0; 2.0 |]))
+
+let test_poly_degree_normalise () =
+  Alcotest.(check int) "trailing zeros" 1
+    (Polynomial.degree (Polynomial.of_coeffs [| 1.0; 2.0; 0.0; 0.0 |]));
+  Alcotest.(check int) "zero poly" (-1) (Polynomial.degree Polynomial.zero)
+
+let test_poly_compose_shift () =
+  let p = Polynomial.of_coeffs [| 0.0; 0.0; 1.0 |] in
+  (* shift p by 1: (x+1)^2 = x^2+2x+1 *)
+  Alcotest.(check bool) "shift" true
+    (Polynomial.equal ~tol:1e-12 (Polynomial.shift p 1.0)
+       (Polynomial.of_coeffs [| 1.0; 2.0; 1.0 |]))
+
+let test_poly_antiderivative () =
+  let p = Polynomial.of_coeffs [| 2.0; 6.0 |] in
+  (* antiderivative: 2x + 3x^2 + c *)
+  Alcotest.(check bool) "antiderivative" true
+    (Polynomial.equal (Polynomial.antiderivative p) (Polynomial.of_coeffs [| 0.0; 2.0; 3.0 |]))
+
+let test_roots_linear () =
+  (match Polynomial.roots_linear 2.0 (-4.0) with
+  | [ r ] -> check_close "root" 2.0 r
+  | _ -> Alcotest.fail "expected one root");
+  Alcotest.(check int) "degenerate" 0 (List.length (Polynomial.roots_linear 0.0 1.0))
+
+let test_roots_quadratic () =
+  (match Polynomial.roots_quadratic 1.0 (-3.0) 2.0 with
+  | [ r1; r2 ] ->
+      check_close "r1" 1.0 r1;
+      check_close "r2" 2.0 r2
+  | _ -> Alcotest.fail "expected two roots");
+  Alcotest.(check int) "no real roots" 0
+    (List.length (Polynomial.roots_quadratic 1.0 0.0 1.0));
+  match Polynomial.roots_quadratic 1.0 (-2.0) 1.0 with
+  | [ r ] -> check_close "double root" 1.0 r
+  | _ -> Alcotest.fail "expected one (double) root"
+
+let test_roots_quadratic_cancellation () =
+  (* b^2 >> 4ac: naive formula loses the small root *)
+  match Polynomial.roots_quadratic 1.0 (-1e8) 1.0 with
+  | [ r1; r2 ] ->
+      check_close ~eps:1e-6 "small root" 1e-8 r1;
+      check_close ~eps:1e-3 "large root" 1e8 r2
+  | _ -> Alcotest.fail "expected two roots"
+
+let test_roots_cubic_three_real () =
+  (* (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6 *)
+  match Polynomial.roots_cubic 1.0 (-6.0) 11.0 (-6.0) with
+  | [ r1; r2; r3 ] ->
+      check_close ~eps:1e-8 "r1" 1.0 r1;
+      check_close ~eps:1e-8 "r2" 2.0 r2;
+      check_close ~eps:1e-8 "r3" 3.0 r3
+  | rs -> Alcotest.failf "expected three roots, got %d" (List.length rs)
+
+let test_roots_cubic_one_real () =
+  (* x^3 + x + 1: single real root near -0.6823 *)
+  match Polynomial.roots_cubic 1.0 0.0 1.0 1.0 with
+  | [ r ] -> check_close ~eps:1e-9 "root" (-0.6823278038280193) r
+  | rs -> Alcotest.failf "expected one root, got %d" (List.length rs)
+
+let test_roots_cubic_triple () =
+  (* (x-2)^3 *)
+  match Polynomial.roots_cubic 1.0 (-6.0) 12.0 (-8.0) with
+  | [ r ] | [ r; _ ] -> check_close ~eps:1e-5 "triple root" 2.0 r
+  | rs -> Alcotest.failf "unexpected root count %d" (List.length rs)
+
+let test_real_roots_closed_form_guard () =
+  Alcotest.(check bool) "degree 4 rejected" true
+    (match Polynomial.real_roots_closed_form (Polynomial.monomial 4) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_durand_kerner () =
+  (* x^4 - 1: roots 1, -1, i, -i *)
+  let p = Polynomial.sub (Polynomial.monomial 4) Polynomial.one in
+  let roots = Polynomial.durand_kerner p in
+  Alcotest.(check int) "count" 4 (Array.length roots);
+  let reals = Polynomial.real_roots p in
+  Alcotest.(check int) "two real" 2 (List.length reals);
+  check_close ~eps:1e-8 "first" (-1.0) (List.nth reals 0);
+  check_close ~eps:1e-8 "second" 1.0 (List.nth reals 1)
+
+let test_poly_to_string () =
+  Alcotest.(check string) "render" "2*x^2 - 1" (Polynomial.to_string [| -1.0; 0.0; 2.0 |]);
+  Alcotest.(check string) "zero" "0" (Polynomial.to_string Polynomial.zero)
+
+(* ------------------------------------------------------------------ *)
+(* Linear algebra                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_lu_solve_known () =
+  let a = Linalg.Mat.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Linalg.solve a [| 5.0; 10.0 |] in
+  check_close ~eps:1e-12 "x0" 1.0 x.(0);
+  check_close ~eps:1e-12 "x1" 3.0 x.(1)
+
+let test_lu_requires_pivoting () =
+  (* zero on the diagonal forces a row swap *)
+  let a = Linalg.Mat.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Linalg.solve a [| 3.0; 7.0 |] in
+  check_close "x0" 7.0 x.(0);
+  check_close "x1" 3.0 x.(1)
+
+let test_singular_raises () =
+  let a = Linalg.Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.(check bool) "singular" true
+    (match Linalg.solve a [| 1.0; 2.0 |] with
+    | exception Linalg.Singular _ -> true
+    | _ -> false)
+
+let test_det () =
+  let a = Linalg.Mat.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  check_close ~eps:1e-12 "det" (-2.0) (Linalg.det a);
+  check_close "singular det" 0.0
+    (Linalg.det (Linalg.Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |]))
+
+let test_inverse () =
+  let a = Linalg.Mat.of_arrays [| [| 4.0; 7.0 |]; [| 2.0; 6.0 |] |] in
+  let inv = Linalg.inverse a in
+  let id = Linalg.Mat.mul a inv in
+  check_close ~eps:1e-12 "diag" 1.0 (Linalg.Mat.get id 0 0);
+  check_close ~eps:1e-12 "offdiag" 0.0 (Linalg.Mat.get id 0 1)
+
+let test_qr_least_squares_exact () =
+  (* square full-rank system: least squares = exact solve *)
+  let a = Linalg.Mat.of_arrays [| [| 2.0; 0.0 |]; [| 0.0; 4.0 |] |] in
+  let x = Linalg.qr_least_squares a [| 2.0; 8.0 |] in
+  check_close "x0" 1.0 x.(0);
+  check_close "x1" 2.0 x.(1)
+
+let test_qr_least_squares_overdetermined () =
+  (* fit y = a + b x through 4 points of an exact line *)
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let a = Linalg.Mat.init 4 2 (fun i j -> if j = 0 then 1.0 else xs.(i)) in
+  let y = Array.map (fun x -> 2.0 +. (0.5 *. x)) xs in
+  let c = Linalg.qr_least_squares a y in
+  check_close ~eps:1e-12 "intercept" 2.0 c.(0);
+  check_close ~eps:1e-12 "slope" 0.5 c.(1)
+
+let test_vec_ops () =
+  let a = [| 1.0; 2.0; 2.0 |] in
+  check_close "norm2" 3.0 (Linalg.Vec.norm2 a);
+  check_close "norm_inf" 2.0 (Linalg.Vec.norm_inf a);
+  check_close "dot" 9.0 (Linalg.Vec.dot a a)
+
+let test_mat_mul_identity () =
+  let a = Linalg.Mat.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let i = Linalg.Mat.identity 2 in
+  let b = Linalg.Mat.mul a i in
+  Alcotest.(check bool) "a * I = a" true
+    (Linalg.Mat.to_arrays a = Linalg.Mat.to_arrays b)
+
+let test_dimension_mismatch () =
+  let a = Linalg.Mat.make 2 3 0.0 in
+  Alcotest.(check bool) "mul_vec" true
+    (match Linalg.Mat.mul_vec a [| 1.0; 2.0 |] with
+    | exception Linalg.Dimension_mismatch _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Fitting                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_polyfit_recovers () =
+  let xs = Grid.linspace (-2.0) 2.0 25 in
+  let ys = Array.map (fun x -> 1.0 -. (2.0 *. x) +. (0.5 *. x *. x)) xs in
+  let p = Fit.polyfit xs ys 2 in
+  check_close ~eps:1e-10 "c0" 1.0 (Polynomial.coeff p 0);
+  check_close ~eps:1e-10 "c1" (-2.0) (Polynomial.coeff p 1);
+  check_close ~eps:1e-10 "c2" 0.5 (Polynomial.coeff p 2)
+
+let test_polyfit_weighted () =
+  (* two clusters; heavy weights on the second force the fit through it *)
+  let xs = [| 0.0; 0.0; 1.0; 1.0 |] in
+  let ys = [| 0.0; 2.0; 1.0; 1.0 |] in
+  let ws = [| 1.0; 1.0; 1e6; 1e6 |] in
+  let p = Fit.polyfit_weighted xs ys ws 1 in
+  check_close ~eps:1e-3 "passes near (1,1)" 1.0 (Polynomial.eval p 1.0)
+
+let test_constrained_fit_pins_value () =
+  let xs = Grid.linspace 0.0 1.0 20 in
+  let ys = Array.map (fun x -> x *. x) xs in
+  let p =
+    Fit.polyfit_constrained xs ys 2
+      [ { Fit.at = 0.5; order = 0; value = 10.0 } ]
+  in
+  check_close ~eps:1e-9 "pinned value" 10.0 (Polynomial.eval p 0.5)
+
+let test_constrained_fit_pins_slope () =
+  let xs = Grid.linspace 0.0 1.0 20 in
+  let ys = Array.map (fun x -> x *. x) xs in
+  let p =
+    Fit.polyfit_constrained xs ys 3
+      [ { Fit.at = 0.0; order = 1; value = 5.0 } ]
+  in
+  check_close ~eps:1e-9 "pinned slope" 5.0 (Polynomial.eval (Polynomial.derivative p) 0.0)
+
+let test_constrained_fit_exact_interpolation () =
+  (* as many independent constraints as unknowns: pure interpolation *)
+  let xs = [| 0.0; 1.0 |] in
+  let ys = [| 0.0; 0.0 |] in
+  let p =
+    Fit.polyfit_constrained xs ys 1
+      [
+        { Fit.at = 0.0; order = 0; value = 3.0 };
+        { Fit.at = 1.0; order = 0; value = 7.0 };
+      ]
+  in
+  check_close "p(0)" 3.0 (Polynomial.eval p 0.0);
+  check_close "p(1)" 7.0 (Polynomial.eval p 1.0)
+
+let test_derivative_row () =
+  (* row dotted with coefficients equals p''(x) for cubic *)
+  let p = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let row = Fit.derivative_row ~degree:3 ~order:2 2.0 in
+  let dot = Array.fold_left ( +. ) 0.0 (Array.mapi (fun i r -> r *. p.(i)) row) in
+  let p'' = Polynomial.derivative (Polynomial.derivative p) in
+  check_close "second derivative" (Polynomial.eval p'' 2.0) dot
+
+let test_too_many_constraints () =
+  Alcotest.(check bool) "rejected" true
+    (match
+       Fit.polyfit_constrained [| 0.0; 1.0 |] [| 0.0; 1.0 |] 1
+         [
+           { Fit.at = 0.0; order = 0; value = 0.0 };
+           { Fit.at = 0.5; order = 0; value = 0.0 };
+           { Fit.at = 1.0; order = 0; value = 0.0 };
+         ]
+     with
+    | exception Fit.Bad_fit _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Optimisation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_golden_section () =
+  let x, fx = Optimize.golden_section (fun x -> (x -. 1.5) ** 2.0) 0.0 4.0 in
+  check_close ~eps:1e-6 "argmin" 1.5 x;
+  check_close ~eps:1e-9 "min" 0.0 fx
+
+let test_brent_min () =
+  let x, _ = Optimize.brent_min (fun x -> -.sin x) 0.0 3.0 in
+  check_close ~eps:1e-6 "argmin pi/2" (Float.pi /. 2.0) x
+
+let test_nelder_mead_rosenbrock () =
+  let rosen v =
+    let x = v.(0) and y = v.(1) in
+    ((1.0 -. x) ** 2.0) +. (100.0 *. ((y -. (x *. x)) ** 2.0))
+  in
+  let x, fx = Optimize.nelder_mead ~max_iter:5000 rosen [| -1.2; 1.0 |] in
+  check_close ~eps:1e-3 "x" 1.0 x.(0);
+  check_close ~eps:1e-3 "y" 1.0 x.(1);
+  Alcotest.(check bool) "near zero" true (fx < 1e-5)
+
+let test_nelder_mead_quadratic_bowl () =
+  let f v = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v in
+  let x, fx = Optimize.nelder_mead f [| 3.0; -4.0; 5.0 |] in
+  Alcotest.(check bool) "converged" true (fx < 1e-10);
+  Array.iter (fun xi -> check_close ~eps:1e-4 "coord" 0.0 xi) x
+
+(* ------------------------------------------------------------------ *)
+(* Interpolation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_linear_interp () =
+  let t = Interp.linear [| 0.0; 1.0; 2.0 |] [| 0.0; 10.0; 0.0 |] in
+  check_close "node" 10.0 (Interp.eval t 1.0);
+  check_close "mid" 5.0 (Interp.eval t 0.5);
+  check_close "extrapolate" (-10.0) (Interp.eval t 3.0)
+
+let test_pchip_hits_nodes () =
+  let xs = Grid.linspace 0.0 4.0 9 in
+  let ys = Array.map (fun x -> exp (-.x)) xs in
+  let t = Interp.pchip xs ys in
+  Array.iteri (fun i x -> check_close ~eps:1e-12 "node" ys.(i) (Interp.eval t x)) xs
+
+let test_pchip_monotone () =
+  (* monotone data must produce a monotone interpolant (no overshoot) *)
+  let xs = [| 0.0; 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = [| 0.0; 0.1; 0.9; 1.0; 1.0 |] in
+  let t = Interp.pchip xs ys in
+  let fine = Grid.linspace 0.0 4.0 200 in
+  let prev = ref (Interp.eval t 0.0) in
+  Array.iter
+    (fun x ->
+      let v = Interp.eval t x in
+      Alcotest.(check bool) "non-decreasing" true (v >= !prev -. 1e-12);
+      prev := v)
+    fine
+
+let test_pchip_derivative_consistency () =
+  let t = Interp.of_function ~kind:`Pchip (fun x -> sin x) 0.0 3.0 40 in
+  let x = 1.234 in
+  let h = 1e-6 in
+  let fd = (Interp.eval t (x +. h) -. Interp.eval t (x -. h)) /. (2.0 *. h) in
+  check_close ~eps:1e-5 "derivative" fd (Interp.eval_derivative t x)
+
+let test_interp_validation () =
+  Alcotest.(check bool) "non-monotone abscissae" true
+    (match Interp.linear [| 0.0; 0.0 |] [| 1.0; 2.0 |] with
+    | exception Interp.Bad_table _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* ODE                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rk4_exponential () =
+  let f _ y = [| -.y.(0) |] in
+  let traj = Ode.rk4 f ~t0:0.0 ~t1:1.0 ~y0:[| 1.0 |] ~steps:100 in
+  let _, y_final = traj.(Array.length traj - 1) in
+  check_close ~eps:1e-8 "e^-1" (exp (-1.0)) y_final.(0)
+
+let test_rk4_harmonic_energy () =
+  (* x'' = -x as a system; energy conserved to O(h^4) *)
+  let f _ y = [| y.(1); -.y.(0) |] in
+  let traj = Ode.rk4 f ~t0:0.0 ~t1:(2.0 *. Float.pi) ~y0:[| 1.0; 0.0 |] ~steps:200 in
+  let _, y = traj.(Array.length traj - 1) in
+  check_close ~eps:1e-6 "x after full period" 1.0 y.(0);
+  check_close ~eps:1e-6 "v after full period" 0.0 y.(1)
+
+let test_rkf45_adaptive () =
+  let f _ y = [| -.(10.0 *. y.(0)) |] in
+  let traj = Ode.rkf45 ~tol:1e-10 f ~t0:0.0 ~t1:1.0 ~y0:[| 1.0 |] in
+  let t_final, y_final = traj.(Array.length traj - 1) in
+  check_close ~eps:1e-9 "t reaches end" 1.0 t_final;
+  check_close ~eps:1e-7 "decay" (exp (-10.0)) y_final.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_mean_variance () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_close "mean" 2.5 (Stats.mean xs);
+  check_close "variance" 1.25 (Stats.variance xs);
+  check_close "stddev" (sqrt 1.25) (Stats.stddev xs)
+
+let test_rms () =
+  check_close "rms" (sqrt 12.5) (Stats.rms [| 3.0; -4.0 |]);
+  check_close "constant" 2.0 (Stats.rms [| 2.0; -2.0; 2.0 |])
+
+let test_rms_error_metrics () =
+  let reference = [| 1.0; 2.0; 3.0 |] in
+  let approx = [| 1.1; 1.9; 3.0 |] in
+  let e = Stats.rms_error reference approx in
+  check_close ~eps:1e-12 "rms error" (sqrt (0.02 /. 3.0)) e;
+  check_close ~eps:1e-12 "relative" (e /. Stats.rms reference)
+    (Stats.relative_rms_error reference approx);
+  check_close "identical" 0.0 (Stats.relative_rms_error reference reference)
+
+let test_max_relative_error () =
+  let reference = [| 1.0; 10.0 |] and approx = [| 1.2; 10.5 |] in
+  check_close ~eps:1e-12 "max rel" 0.2 (Stats.max_relative_error reference approx)
+
+let test_percentile_median () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  check_close "median" 3.0 (Stats.median xs);
+  check_close "p0" 1.0 (Stats.percentile xs 0.0);
+  check_close "p100" 5.0 (Stats.percentile xs 100.0);
+  check_close "p25" 2.0 (Stats.percentile xs 25.0)
+
+let test_empty_raises () =
+  Alcotest.(check bool) "empty mean" true
+    (match Stats.mean [||] with exception Stats.Empty _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests                                                *)
+(* ------------------------------------------------------------------ *)
+
+let small_float = QCheck2.Gen.float_range (-50.0) 50.0
+
+let poly_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 5) (float_range (-10.0) 10.0) >|= fun cs ->
+    Polynomial.of_coeffs (Array.of_list cs))
+
+let prop_poly_add_commutes =
+  QCheck2.Test.make ~name:"polynomial addition commutes" ~count:200
+    QCheck2.Gen.(pair poly_gen poly_gen)
+    (fun (p, q) ->
+      Polynomial.equal ~tol:1e-9 (Polynomial.add p q) (Polynomial.add q p))
+
+let prop_poly_mul_distributes =
+  QCheck2.Test.make ~name:"polynomial multiplication distributes" ~count:200
+    QCheck2.Gen.(triple poly_gen poly_gen poly_gen)
+    (fun (p, q, r) ->
+      Polynomial.equal ~tol:1e-6
+        (Polynomial.mul p (Polynomial.add q r))
+        (Polynomial.add (Polynomial.mul p q) (Polynomial.mul p r)))
+
+let prop_poly_eval_matches_mul =
+  QCheck2.Test.make ~name:"eval of product = product of evals" ~count:200
+    QCheck2.Gen.(triple poly_gen poly_gen (float_range (-3.0) 3.0))
+    (fun (p, q, x) ->
+      let lhs = Polynomial.eval (Polynomial.mul p q) x in
+      let rhs = Polynomial.eval p x *. Polynomial.eval q x in
+      Special.approx_equal ~atol:1e-6 ~rtol:1e-6 lhs rhs)
+
+let prop_cubic_roots_residual =
+  QCheck2.Test.make ~name:"closed-form cubic roots satisfy p(r)=0" ~count:500
+    QCheck2.Gen.(quad small_float small_float small_float small_float)
+    (fun (a, b, c, d) ->
+      QCheck2.assume (Float.abs a > 1e-3);
+      let p = Polynomial.of_coeffs [| d; c; b; a |] in
+      let scale =
+        Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 1.0 p
+      in
+      List.for_all
+        (fun r ->
+          Float.abs (Polynomial.eval p r)
+          <= 1e-6 *. scale *. Float.max 1.0 (Float.abs r ** 3.0))
+        (Polynomial.roots_cubic a b c d))
+
+let prop_quadratic_root_count =
+  QCheck2.Test.make ~name:"quadratic root count matches discriminant" ~count:500
+    QCheck2.Gen.(triple small_float small_float small_float)
+    (fun (a, b, c) ->
+      QCheck2.assume (Float.abs a > 1e-3);
+      let disc = (b *. b) -. (4.0 *. a *. c) in
+      QCheck2.assume (Float.abs disc > 1e-6);
+      let n = List.length (Polynomial.roots_quadratic a b c) in
+      if disc > 0.0 then n = 2 else n = 0)
+
+let prop_lu_reconstruction =
+  QCheck2.Test.make ~name:"LU solve then multiply returns rhs" ~count:200
+    QCheck2.Gen.(
+      let dim = int_range 1 6 in
+      dim >>= fun n ->
+      let entry = float_range (-5.0) 5.0 in
+      pair (return n) (list_size (return (n * n + n)) entry))
+    (fun (n, data) ->
+      let arr = Array.of_list data in
+      let a = Linalg.Mat.init n n (fun i j -> arr.((i * n) + j)) in
+      let b = Array.init n (fun i -> arr.((n * n) + i)) in
+      match Linalg.solve a b with
+      | exception Linalg.Singular _ -> true (* random singular: skip *)
+      | x ->
+          let b' = Linalg.Mat.mul_vec a x in
+          Array.for_all2
+            (fun u v -> Special.approx_equal ~atol:1e-5 ~rtol:1e-5 u v)
+            b b')
+
+let prop_quadrature_matches_antiderivative =
+  QCheck2.Test.make ~name:"adaptive Simpson integrates polynomials exactly"
+    ~count:200
+    QCheck2.Gen.(triple poly_gen (float_range (-3.0) 0.0) (float_range 0.1 3.0))
+    (fun (p, a, b) ->
+      let prim = Polynomial.antiderivative p in
+      let expected = Polynomial.eval prim b -. Polynomial.eval prim a in
+      let actual = Quadrature.adaptive_simpson (Polynomial.eval p) a b in
+      Special.approx_equal ~atol:1e-7 ~rtol:1e-7 expected actual)
+
+let prop_brent_finds_bracketed_root =
+  QCheck2.Test.make ~name:"Brent residual is tiny on random cubics" ~count:300
+    QCheck2.Gen.(pair small_float small_float)
+    (fun (r0, shift) ->
+      QCheck2.assume (Float.abs shift > 0.1);
+      (* f(x) = (x - r0)^3 has a sign change around r0 *)
+      let f x = (x -. r0) ** 3.0 in
+      let result = Rootfind.brent f (r0 -. Float.abs shift) (r0 +. Float.abs shift) in
+      Float.abs (result.Rootfind.root -. r0) < 1e-3)
+
+let prop_pchip_stays_in_data_range =
+  QCheck2.Test.make ~name:"PCHIP never overshoots the data range" ~count:200
+    QCheck2.Gen.(list_size (int_range 3 10) (float_range 0.0 10.0))
+    (fun ys_list ->
+      let ys = Array.of_list ys_list in
+      let xs = Array.init (Array.length ys) float_of_int in
+      let t = Interp.pchip xs ys in
+      let lo = Array.fold_left Float.min ys.(0) ys in
+      let hi = Array.fold_left Float.max ys.(0) ys in
+      let fine = Grid.linspace 0.0 (float_of_int (Array.length ys - 1)) 100 in
+      Array.for_all
+        (fun x ->
+          let v = Interp.eval t x in
+          v >= lo -. 1e-9 && v <= hi +. 1e-9)
+        fine)
+
+let prop_percentile_monotone =
+  QCheck2.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 20) small_float)
+    (fun xs_list ->
+      let xs = Array.of_list xs_list in
+      let ps = [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 100.0 ] in
+      let vals = List.map (Stats.percentile xs) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-12 && mono rest
+        | _ -> true
+      in
+      mono vals)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_poly_add_commutes;
+      prop_poly_mul_distributes;
+      prop_poly_eval_matches_mul;
+      prop_cubic_roots_residual;
+      prop_quadratic_root_count;
+      prop_lu_reconstruction;
+      prop_quadrature_matches_antiderivative;
+      prop_brent_finds_bracketed_root;
+      prop_pchip_stays_in_data_range;
+      prop_percentile_monotone;
+    ]
+
+
+(* ------------------------------------------------------------------ *)
+(* PRNG                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7L () and b = Prng.create ~seed:7L () in
+  for _ = 1 to 100 do
+    check_close ~eps:0.0 "same stream" (Prng.uniform a) (Prng.uniform b)
+  done
+
+let test_prng_uniform_range () =
+  let rng = Prng.create () in
+  for _ = 1 to 1000 do
+    let u = Prng.uniform rng in
+    Alcotest.(check bool) "in [0,1)" true (u >= 0.0 && u < 1.0)
+  done;
+  for _ = 1 to 100 do
+    let v = Prng.uniform_range rng ~lo:(-2.0) ~hi:3.0 in
+    Alcotest.(check bool) "in range" true (v >= -2.0 && v < 3.0)
+  done
+
+let test_prng_uniform_moments () =
+  let rng = Prng.create ~seed:123L () in
+  let xs = Array.init 20000 (fun _ -> Prng.uniform rng) in
+  check_close ~eps:0.01 "mean 1/2" 0.5 (Stats.mean xs);
+  check_close ~eps:0.01 "stddev 1/sqrt(12)" (1.0 /. sqrt 12.0) (Stats.stddev xs)
+
+let test_prng_gaussian_moments () =
+  let rng = Prng.create ~seed:321L () in
+  let xs = Array.init 20000 (fun _ -> Prng.gaussian ~mean:2.0 ~sigma:0.5 rng) in
+  check_close ~eps:0.02 "mean" 2.0 (Stats.mean xs);
+  check_close ~eps:0.02 "sigma" 0.5 (Stats.stddev xs)
+
+let test_prng_split_differs () =
+  let rng = Prng.create ~seed:99L () in
+  let a = Prng.split rng and b = Prng.split rng in
+  Alcotest.(check bool) "streams differ" true (Prng.uniform a <> Prng.uniform b)
+
+
+(* ------------------------------------------------------------------ *)
+(* Complex linear algebra                                              *)
+(* ------------------------------------------------------------------ *)
+
+let cx re im = { Complex.re; im }
+
+let test_complex_solve_known () =
+  (* (1+i) x = 2i  ->  x = 2i/(1+i) = 1 + i *)
+  let a = Complex_linalg.Cmat.init 1 1 (fun _ _ -> cx 1.0 1.0) in
+  let x = Complex_linalg.solve a [| cx 0.0 2.0 |] in
+  check_close ~eps:1e-12 "re" 1.0 x.(0).Complex.re;
+  check_close ~eps:1e-12 "im" 1.0 x.(0).Complex.im
+
+let test_complex_solve_residual () =
+  (* diagonally dominant 3x3 system: residual of the solution vanishes *)
+  let a =
+    Complex_linalg.Cmat.init 3 3 (fun i j ->
+        if i = j then cx (10.0 +. float_of_int i) 0.5
+        else cx (float_of_int (i + j)) (float_of_int (i - j)))
+  in
+  let b = [| cx 1.0 0.0; cx 0.0 1.0; cx 2.0 (-1.0) |] in
+  let x = Complex_linalg.solve a b in
+  let r = Complex_linalg.Cvec.sub (Complex_linalg.Cmat.mul_vec a x) b in
+  Alcotest.(check bool) "residual tiny" true (Complex_linalg.Cvec.norm_inf r < 1e-12)
+
+let test_complex_singular () =
+  let a = Complex_linalg.Cmat.zero 2 2 in
+  Alcotest.(check bool) "singular detected" true
+    (match Complex_linalg.solve a [| Complex.one; Complex.one |] with
+    | exception Complex_linalg.Singular _ -> true
+    | _ -> false)
+
+let test_complex_pivoting () =
+  (* zero top-left pivot requires a row swap *)
+  let a =
+    Complex_linalg.Cmat.init 2 2 (fun i j ->
+        if i = 0 && j = 0 then Complex.zero
+        else if i = 0 then Complex.one
+        else if j = 0 then cx 2.0 0.0
+        else Complex.zero)
+  in
+  let x = Complex_linalg.solve a [| cx 3.0 0.0; cx 4.0 0.0 |] in
+  check_close ~eps:1e-12 "x0" 2.0 x.(0).Complex.re;
+  check_close ~eps:1e-12 "x1" 3.0 x.(1).Complex.re
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "cnt_numerics"
+    [
+      ( "grid",
+        [
+          tc "linspace endpoints" test_linspace_endpoints;
+          tc "linspace single point" test_linspace_single;
+          tc "linspace rejects n<=0" test_linspace_invalid;
+          tc "logspace" test_logspace;
+          tc "arange" test_arange;
+          tc "bracket binary search" test_bracket;
+          tc "midpoints" test_midpoints;
+          tc "is_sorted" test_is_sorted;
+        ] );
+      ( "special",
+        [
+          tc "log1p_exp stable" test_log1p_exp;
+          tc "logistic stable" test_logistic;
+          tc "logistic derivative" test_logistic_derivative;
+          tc "cbrt" test_cbrt;
+          tc "signum" test_signum;
+        ] );
+      ( "quadrature",
+        [
+          tc "simpson exact on cubics" test_simpson_cubic_exact;
+          tc "trapezoid exact on lines" test_trapezoid_linear_exact;
+          tc "adaptive simpson exp" test_adaptive_simpson_exp;
+          tc "adaptive simpson sin" test_adaptive_simpson_oscillatory;
+          tc "adaptive gauss-kronrod" test_adaptive_gk;
+          tc "gk15 error estimate" test_gk15_error_estimate;
+          tc "romberg" test_romberg;
+          tc "semi-infinite integrals" test_integrate_to_infinity;
+          tc "empty interval" test_empty_interval;
+        ] );
+      ( "rootfind",
+        [
+          tc "bisection sqrt2" test_bisect_sqrt2;
+          tc "bisection requires bracket" test_bisect_no_bracket;
+          tc "newton quadratic" test_newton_quadratic;
+          tc "newton zero derivative" test_newton_zero_derivative;
+          tc "secant" test_secant;
+          tc "brent transcendental" test_brent_transcendental;
+          tc "ridders" test_ridders;
+          tc "bracketed newton on stiff exp" test_newton_bracketed_stiff;
+          tc "root at bracket endpoint" test_bracket_endpoint_root;
+        ] );
+      ( "polynomial",
+        [
+          tc "horner eval" test_poly_eval_horner;
+          tc "eval with derivative" test_poly_eval_with_derivative;
+          tc "ring operations" test_poly_arithmetic;
+          tc "degree normalisation" test_poly_degree_normalise;
+          tc "argument shift" test_poly_compose_shift;
+          tc "antiderivative" test_poly_antiderivative;
+          tc "linear roots" test_roots_linear;
+          tc "quadratic roots" test_roots_quadratic;
+          tc "quadratic cancellation" test_roots_quadratic_cancellation;
+          tc "cubic three real roots" test_roots_cubic_three_real;
+          tc "cubic one real root" test_roots_cubic_one_real;
+          tc "cubic triple root" test_roots_cubic_triple;
+          tc "closed form degree guard" test_real_roots_closed_form_guard;
+          tc "durand-kerner quartic" test_durand_kerner;
+          tc "pretty printing" test_poly_to_string;
+        ] );
+      ( "linalg",
+        [
+          tc "lu solve 2x2" test_lu_solve_known;
+          tc "lu pivoting" test_lu_requires_pivoting;
+          tc "singular detection" test_singular_raises;
+          tc "determinant" test_det;
+          tc "inverse" test_inverse;
+          tc "qr exact solve" test_qr_least_squares_exact;
+          tc "qr overdetermined line fit" test_qr_least_squares_overdetermined;
+          tc "vector operations" test_vec_ops;
+          tc "identity multiplication" test_mat_mul_identity;
+          tc "dimension checks" test_dimension_mismatch;
+        ] );
+      ( "fit",
+        [
+          tc "polyfit recovers coefficients" test_polyfit_recovers;
+          tc "weighted fit" test_polyfit_weighted;
+          tc "constraint pins value" test_constrained_fit_pins_value;
+          tc "constraint pins slope" test_constrained_fit_pins_slope;
+          tc "constraints interpolate exactly" test_constrained_fit_exact_interpolation;
+          tc "derivative row" test_derivative_row;
+          tc "over-constrained rejected" test_too_many_constraints;
+        ] );
+      ( "optimize",
+        [
+          tc "golden section parabola" test_golden_section;
+          tc "brent min sine" test_brent_min;
+          tc "nelder-mead rosenbrock" test_nelder_mead_rosenbrock;
+          tc "nelder-mead 3d bowl" test_nelder_mead_quadratic_bowl;
+        ] );
+      ( "interp",
+        [
+          tc "linear interpolation" test_linear_interp;
+          tc "pchip hits nodes" test_pchip_hits_nodes;
+          tc "pchip monotonicity" test_pchip_monotone;
+          tc "pchip derivative" test_pchip_derivative_consistency;
+          tc "table validation" test_interp_validation;
+        ] );
+      ( "ode",
+        [
+          tc "rk4 exponential decay" test_rk4_exponential;
+          tc "rk4 harmonic oscillator" test_rk4_harmonic_energy;
+          tc "rkf45 stiff-ish decay" test_rkf45_adaptive;
+        ] );
+      ( "stats",
+        [
+          tc "mean and variance" test_mean_variance;
+          tc "rms" test_rms;
+          tc "rms error metrics" test_rms_error_metrics;
+          tc "max relative error" test_max_relative_error;
+          tc "percentile and median" test_percentile_median;
+          tc "empty input raises" test_empty_raises;
+        ] );
+      ( "complex_linalg",
+        [
+          tc "1x1 complex solve" test_complex_solve_known;
+          tc "3x3 residual" test_complex_solve_residual;
+          tc "singular detection" test_complex_singular;
+          tc "pivoting" test_complex_pivoting;
+        ] );
+      ( "prng",
+        [
+          tc "deterministic streams" test_prng_deterministic;
+          tc "uniform range" test_prng_uniform_range;
+          tc "uniform moments" test_prng_uniform_moments;
+          tc "gaussian moments" test_prng_gaussian_moments;
+          tc "split independence" test_prng_split_differs;
+        ] );
+      ("properties", qcheck_cases);
+    ]
