@@ -200,11 +200,98 @@ let spice_group =
         (stage_unit (fun () -> Ac.run mid ~freqs:[| 1e9 |]));
     ]
 
+(* Scaling: N-stage CNFET ring-oscillator transient, dense vs sparse
+   linear solver.  The per-iteration matrix work is O(n^3) dense versus
+   near-linear for the sparse LU on these banded-ish MNA patterns, so
+   the gap widens with stage count.  `main scaling-json` runs the same
+   workload standalone and emits JSON (committed as
+   results/BENCH_sparse.json). *)
+let ring_stages = [ 5; 21; 51 ]
+
+let ring_circuits =
+  lazy
+    (let f = Cnt_spice.Stdcells.family ~length:100e-9 () in
+     List.map
+       (fun stages ->
+         let cells, _out =
+           Cnt_spice.Stdcells.ring_oscillator f ~prefix:"r" ~stages
+             ~vdd_node:"vdd"
+         in
+         (stages, Cnt_spice.Stdcells.bench f ~stimuli:[] ~cells))
+       ring_stages)
+
+let ring_tran backend circuit ~tstop =
+  Cnt_spice.Transient.run ~backend circuit ~tstep:1e-12 ~tstop
+
+let scaling_group =
+  let open Cnt_numerics in
+  Test.make_grouped ~name:"scaling"
+    (List.concat_map
+       (fun (stages, circuit) ->
+         List.map
+           (fun (bname, backend) ->
+             Test.make
+               ~name:(Printf.sprintf "ring%d_tran_%s" stages bname)
+               (stage_unit (fun () ->
+                    ring_tran backend circuit ~tstop:2e-11)))
+           [
+             ("dense", Linear_solver.Dense_backend);
+             ("sparse", Linear_solver.Sparse_backend);
+           ])
+       (Lazy.force ring_circuits))
+
+(* Standalone scaling run with wall-clock timing, as JSON on stdout. *)
+let scaling_json () =
+  let open Cnt_numerics in
+  let tstep = 1e-12 and tstop = 1e-10 in
+  let repeats = 5 in
+  let measure backend circuit =
+    let best = ref infinity and stats = ref None in
+    for k = 1 to 1 + repeats do
+      (* first run warms caches and is discarded *)
+      let t0 = Unix.gettimeofday () in
+      let r = Cnt_spice.Transient.run ~backend circuit ~tstep ~tstop in
+      let dt = Unix.gettimeofday () -. t0 in
+      if k > 1 && dt < !best then begin
+        best := dt;
+        stats := Some (Cnt_spice.Transient.stats r)
+      end
+    done;
+    (!best, Option.get !stats)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"benchmark\": \"cnfet_ring_oscillator_transient\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"tstep_s\": %g,\n  \"tstop_s\": %g,\n  \"repeats\": %d,\n"
+       tstep tstop repeats);
+  Buffer.add_string buf "  \"time_metric\": \"best_wall_clock_s\",\n";
+  Buffer.add_string buf "  \"results\": [\n";
+  let entries =
+    List.map
+      (fun (stages, circuit) ->
+        let dense_s, dstats = measure Linear_solver.Dense_backend circuit in
+        let sparse_s, sstats = measure Linear_solver.Sparse_backend circuit in
+        Printf.sprintf
+          "    {\"stages\": %d, \"unknowns\": %d, \"dense_nnz\": %d, \
+           \"sparse_nnz\": %d, \"dense_s\": %.6g, \"sparse_s\": %.6g, \
+           \"speedup\": %.3g, \"dense_solve_s\": %.6g, \"sparse_solve_s\": \
+           %.6g, \"solve_speedup\": %.3g}"
+          stages dstats.Cnt_spice.Mna.unknowns dstats.Cnt_spice.Mna.nonzeros
+          sstats.Cnt_spice.Mna.nonzeros dense_s sparse_s (dense_s /. sparse_s)
+          dstats.Cnt_spice.Mna.solve_s sstats.Cnt_spice.Mna.solve_s
+          (dstats.Cnt_spice.Mna.solve_s /. sstats.Cnt_spice.Mna.solve_s))
+      (Lazy.force ring_circuits)
+  in
+  Buffer.add_string buf (String.concat ",\n" entries);
+  Buffer.add_string buf "\n  ]\n}\n";
+  print_string (Buffer.contents buf)
+
 let all_tests =
   Test.make_grouped ~name:"cntsim"
     [
       table1; table2; table3; table4; table5; fig23; fig45; fig69; fig1011;
-      ablation; spice_group;
+      ablation; spice_group; scaling_group;
     ]
 
 let benchmark () =
@@ -222,6 +309,10 @@ let benchmark () =
   (Analyze.merge ols instances results, raw_results)
 
 let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "scaling-json" then begin
+    scaling_json ();
+    exit 0
+  end;
   List.iter
     (fun v -> Bechamel_notty.Unit.add v (Measure.unit v))
     Instance.[ monotonic_clock ];

@@ -1,11 +1,12 @@
 (* Run a SPICE-dialect netlist with CNFET devices.
 
      cspice inverter.cir
-     cspice --csv results/ inverter.cir *)
+     cspice --csv results/ inverter.cir
+     cspice --stats --solver sparse ring.cir *)
 
 open Cmdliner
 
-let run csv_dir max_rows path =
+let run csv_dir max_rows stats solver path =
   let text =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -19,12 +20,12 @@ let run csv_dir max_rows path =
       1
   | deck ->
       Printf.printf "* title: %s\n" deck.Cnt_spice.Parser.title;
-      let tables = Cnt_spice.Engine.run_deck deck in
+      let tables = Cnt_spice.Engine.run_deck ~backend:solver deck in
       if tables = [] then
         prerr_endline "warning: netlist contains no analysis directive (.op/.dc/.tran)";
       List.iteri
         (fun i t ->
-          Format.printf "%a@." (Cnt_spice.Engine.pp_table ~max_rows) t;
+          Format.printf "%a@." (Cnt_spice.Engine.pp_table ~max_rows ~stats) t;
           match csv_dir with
           | None -> ()
           | Some dir ->
@@ -46,11 +47,33 @@ let rows_arg =
   let doc = "Maximum rows to print per table." in
   Arg.(value & opt int 50 & info [ "max-rows" ] ~docv:"N" ~doc)
 
+let stats_arg =
+  let doc = "Print a solver-statistics footer after each table." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let solver_arg =
+  let doc =
+    "Linear-solver backend: $(b,auto) (sparse at 25+ unknowns), $(b,dense) or \
+     $(b,sparse)."
+  in
+  let backend_conv =
+    Arg.enum
+      [
+        ("auto", Cnt_numerics.Linear_solver.Auto);
+        ("dense", Cnt_numerics.Linear_solver.Dense_backend);
+        ("sparse", Cnt_numerics.Linear_solver.Sparse_backend);
+      ]
+  in
+  Arg.(value
+      & opt backend_conv Cnt_numerics.Linear_solver.Auto
+      & info [ "solver" ] ~docv:"BACKEND" ~doc)
+
 let path_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc:"Netlist file.")
 
 let cmd =
   let doc = "SPICE-like circuit simulator with ballistic CNFET devices" in
-  Cmd.v (Cmd.info "cspice" ~doc) Term.(const run $ csv_arg $ rows_arg $ path_arg)
+  Cmd.v (Cmd.info "cspice" ~doc)
+    Term.(const run $ csv_arg $ rows_arg $ stats_arg $ solver_arg $ path_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -150,11 +150,17 @@ type lu = {
   sign : float; (* determinant sign from row swaps *)
 }
 
-let lu_decompose a =
-  if a.rows <> a.cols then raise (Dimension_mismatch "lu_decompose: square required");
-  let n = a.rows in
-  let m = Mat.copy a in
-  let perm = Array.init n (fun i -> i) in
+(* Factor [m] in place into packed L/U form, recording the row
+   permutation in [perm] (overwritten).  Returns the determinant sign.
+   Allocation-free: the workhorse behind both [lu_decompose] and the
+   refill-in-place dense MNA backend. *)
+let factor_in_place m perm =
+  if m.rows <> m.cols then raise (Dimension_mismatch "lu_factor: square required");
+  let n = m.rows in
+  if Array.length perm <> n then raise (Dimension_mismatch "lu_factor: perm length");
+  for i = 0 to n - 1 do
+    perm.(i) <- i
+  done;
   let sign = ref 1.0 in
   for k = 0 to n - 1 do
     (* find pivot *)
@@ -188,17 +194,31 @@ let lu_decompose a =
         done
     done
   done;
-  { lu_mat = m; perm; sign = !sign }
+  !sign
 
-let lu_solve f b =
-  let n = f.lu_mat.rows in
+let lu_decompose a =
+  let m = Mat.copy a in
+  let perm = Array.make a.rows 0 in
+  let sign = factor_in_place m perm in
+  { lu_mat = m; perm; sign }
+
+let lu_factor_into ~src ~dst perm =
+  if dst.rows <> src.rows || dst.cols <> src.cols then
+    raise (Dimension_mismatch "lu_factor_into: shape mismatch");
+  for i = 0 to src.rows - 1 do
+    Array.blit src.data.(i) 0 dst.data.(i) 0 src.cols
+  done;
+  ignore (factor_in_place dst perm)
+
+let lu_solve_packed lu_mat perm b =
+  let n = lu_mat.rows in
   if Array.length b <> n then raise (Dimension_mismatch "lu_solve");
-  let x = Array.init n (fun i -> b.(f.perm.(i))) in
+  let x = Array.init n (fun i -> b.(perm.(i))) in
   (* forward substitution with unit-diagonal L *)
   for i = 1 to n - 1 do
     let acc = ref x.(i) in
     for j = 0 to i - 1 do
-      acc := !acc -. (f.lu_mat.data.(i).(j) *. x.(j))
+      acc := !acc -. (lu_mat.data.(i).(j) *. x.(j))
     done;
     x.(i) <- !acc
   done;
@@ -206,11 +226,13 @@ let lu_solve f b =
   for i = n - 1 downto 0 do
     let acc = ref x.(i) in
     for j = i + 1 to n - 1 do
-      acc := !acc -. (f.lu_mat.data.(i).(j) *. x.(j))
+      acc := !acc -. (lu_mat.data.(i).(j) *. x.(j))
     done;
-    x.(i) <- !acc /. f.lu_mat.data.(i).(i)
+    x.(i) <- !acc /. lu_mat.data.(i).(i)
   done;
   x
+
+let lu_solve f b = lu_solve_packed f.lu_mat f.perm b
 
 let solve a b = lu_solve (lu_decompose a) b
 

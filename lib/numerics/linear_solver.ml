@@ -1,0 +1,148 @@
+(* Interchangeable linear-solver backends behind one stamp-oriented
+   interface.  Both backends freeze their structure at [create] and are
+   refilled in place, so a Newton loop allocates no matrices after
+   compilation; only solution vectors are fresh per solve. *)
+
+exception Singular of string
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : int -> (int * int) array -> t
+  val dim : t -> int
+  val nnz : t -> int
+  val slot : t -> int -> int -> int
+  val clear : t -> unit
+  val add_slot : t -> int -> float -> unit
+  val add_to : t -> int -> int -> float -> unit
+  val residual : t -> float array -> float array -> float
+  val solve : t -> float array -> float array
+end
+
+module Dense : S = struct
+  type t = {
+    n : int;
+    a : Linalg.mat; (* stamped values *)
+    scratch : Linalg.mat; (* in-place factorisation target *)
+    perm : int array;
+  }
+
+  let name = "dense"
+
+  let create n pattern =
+    ignore pattern;
+    (* dense storage admits every location *)
+    {
+      n;
+      a = Linalg.Mat.make n n 0.0;
+      scratch = Linalg.Mat.make n n 0.0;
+      perm = Array.make n 0;
+    }
+
+  let dim t = t.n
+  let nnz t = t.n * t.n
+
+  let slot t i j =
+    if i < 0 || j < 0 || i >= t.n || j >= t.n then
+      invalid_arg (Printf.sprintf "Dense.slot: (%d, %d) out of range" i j);
+    (i * t.n) + j
+
+  let clear t =
+    for i = 0 to t.n - 1 do
+      for j = 0 to t.n - 1 do
+        Linalg.Mat.set t.a i j 0.0
+      done
+    done
+
+  let add_slot t s v = Linalg.Mat.add_to t.a (s / t.n) (s mod t.n) v
+  let add_to t i j v = Linalg.Mat.add_to t.a i j v
+
+  let residual t x b =
+    let worst = ref 0.0 in
+    for i = 0 to t.n - 1 do
+      let acc = ref (-.b.(i)) in
+      for j = 0 to t.n - 1 do
+        acc := !acc +. (Linalg.Mat.get t.a i j *. x.(j))
+      done;
+      worst := Float.max !worst (Float.abs !acc)
+    done;
+    !worst
+
+  let solve t b =
+    try
+      Linalg.lu_factor_into ~src:t.a ~dst:t.scratch t.perm;
+      Linalg.lu_solve_packed t.scratch t.perm b
+    with Linalg.Singular msg -> raise (Singular msg)
+end
+
+module Sparse_lu : S = struct
+  type t = {
+    m : Sparse.t;
+    lu : Sparse.lu;
+  }
+
+  let name = "sparse"
+
+  let create n pattern =
+    let b = Sparse.Builder.create n in
+    Array.iter (fun (i, j) -> Sparse.Builder.add b i j) pattern;
+    let m = Sparse.Builder.finalize b in
+    { m; lu = Sparse.lu_create m }
+
+  let dim t = Sparse.dim t.m
+  let nnz t = Sparse.nnz t.m
+  let slot t i j = Sparse.slot t.m i j
+  let clear t = Sparse.clear t.m
+  let add_slot t s v = Sparse.add_slot t.m s v
+  let add_to t i j v = Sparse.add_to t.m i j v
+  let residual t x b = Sparse.residual_inf t.m x b
+
+  let solve t b =
+    try
+      Sparse.refactor t.lu t.m;
+      Sparse.lu_solve t.lu b
+    with Sparse.Singular msg -> raise (Singular msg)
+end
+
+type backend =
+  | Dense_backend
+  | Sparse_backend
+  | Auto
+
+let auto_threshold = 25
+
+type instance = {
+  backend_name : string;
+  dim : int;
+  nnz : int;
+  slot : int -> int -> int;
+  clear : unit -> unit;
+  add_slot : int -> float -> unit;
+  add_to : int -> int -> float -> unit;
+  residual : float array -> float array -> float;
+  solve : float array -> float array;
+}
+
+let instantiate (module B : S) n pattern =
+  let t = B.create n pattern in
+  {
+    backend_name = B.name;
+    dim = B.dim t;
+    nnz = B.nnz t;
+    slot = B.slot t;
+    clear = (fun () -> B.clear t);
+    add_slot = B.add_slot t;
+    add_to = B.add_to t;
+    residual = B.residual t;
+    solve = B.solve t;
+  }
+
+let make backend n pattern =
+  let m : (module S) =
+    match backend with
+    | Dense_backend -> (module Dense)
+    | Sparse_backend -> (module Sparse_lu)
+    | Auto -> if n >= auto_threshold then (module Sparse_lu) else (module Dense)
+  in
+  instantiate m n pattern

@@ -1,0 +1,325 @@
+(* Sparse matrices for MNA-style systems.
+
+   Storage is compressed sparse row with a frozen pattern: a Builder
+   collects the set of (row, col) locations once (the symbolic phase),
+   finalize sorts them into CSR arrays, and from then on only the value
+   array changes (the numeric phase).  A hashtable from packed (i, j)
+   keys to value slots supports both ad-hoc [add_to] and the slot
+   handles that callers cache for allocation-free refill.
+
+   The factorisation is a left-looking Gilbert-Peierls sparse LU with
+   partial pivoting.  It is formulated on the CSC view of the matrix:
+   the CSR arrays of A are exactly the CSC arrays of A^T, so we factor
+   P A^T = L U column by column (each column of A^T is a row of A) and
+   solve A x = b through the transposed factors:
+
+     A = (P^-1 L U)^T  =>  U^T L^T (x renumbered by P) = b
+
+   which needs only gather-style triangular solves over the stored
+   columns.  Row pivoting on A^T is column pivoting on A; either is
+   enough to keep MNA matrices (zero diagonals on voltage-source rows)
+   stable.
+
+   The L/U fill arrays live in a reusable workspace ([lu]) that grows
+   geometrically and is otherwise allocation-free across refactors, so
+   a Newton loop can refactor every iteration without churning the
+   GC. *)
+
+exception Singular of string
+
+type t = {
+  n : int;
+  row_ptr : int array; (* n+1 row starts into cols/values *)
+  cols : int array; (* column of each entry, sorted within a row *)
+  values : float array;
+  index : (int, int) Hashtbl.t; (* packed i*n+j -> slot *)
+}
+
+module Builder = struct
+  type matrix = t
+
+  type t = {
+    n : int;
+    seen : (int, unit) Hashtbl.t;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Sparse.Builder.create: negative dimension";
+    { n; seen = Hashtbl.create (4 * (n + 1)) }
+
+  let add b i j =
+    if i < 0 || j < 0 || i >= b.n || j >= b.n then
+      invalid_arg (Printf.sprintf "Sparse.Builder.add: (%d, %d) out of range" i j);
+    let key = (i * b.n) + j in
+    if not (Hashtbl.mem b.seen key) then Hashtbl.add b.seen key ()
+
+  let finalize b : matrix =
+    let nnz = Hashtbl.length b.seen in
+    let keys = Array.make nnz 0 in
+    let k = ref 0 in
+    Hashtbl.iter
+      (fun key () ->
+        keys.(!k) <- key;
+        incr k)
+      b.seen;
+    (* packed keys sort row-major, which is exactly CSR order *)
+    Array.sort compare keys;
+    let row_ptr = Array.make (b.n + 1) 0 in
+    let cols = Array.make nnz 0 in
+    let index = Hashtbl.create (2 * (nnz + 1)) in
+    Array.iteri
+      (fun slot key ->
+        let i = key / b.n in
+        cols.(slot) <- key mod b.n;
+        row_ptr.(i + 1) <- row_ptr.(i + 1) + 1;
+        Hashtbl.add index key slot)
+      keys;
+    for i = 0 to b.n - 1 do
+      row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+    done;
+    { n = b.n; row_ptr; cols; values = Array.make nnz 0.0; index }
+end
+
+let dim m = m.n
+let nnz m = Array.length m.cols
+
+let slot m i j =
+  if i < 0 || j < 0 || i >= m.n || j >= m.n then
+    invalid_arg (Printf.sprintf "Sparse.slot: (%d, %d) out of range" i j);
+  match Hashtbl.find_opt m.index ((i * m.n) + j) with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Sparse.slot: (%d, %d) not in pattern" i j)
+
+let clear m = Array.fill m.values 0 (Array.length m.values) 0.0
+let add_slot m s v = m.values.(s) <- m.values.(s) +. v
+let add_to m i j v = add_slot m (slot m i j) v
+
+let get m i j =
+  if i < 0 || j < 0 || i >= m.n || j >= m.n then
+    invalid_arg (Printf.sprintf "Sparse.get: (%d, %d) out of range" i j);
+  match Hashtbl.find_opt m.index ((i * m.n) + j) with
+  | Some s -> m.values.(s)
+  | None -> 0.0
+
+let mul_vec m x =
+  if Array.length x <> m.n then invalid_arg "Sparse.mul_vec: dimension mismatch";
+  Array.init m.n (fun i ->
+      let acc = ref 0.0 in
+      for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        acc := !acc +. (m.values.(p) *. x.(m.cols.(p)))
+      done;
+      !acc)
+
+let residual_inf m x b =
+  if Array.length x <> m.n || Array.length b <> m.n then
+    invalid_arg "Sparse.residual_inf: dimension mismatch";
+  let worst = ref 0.0 in
+  for i = 0 to m.n - 1 do
+    let acc = ref (-.b.(i)) in
+    for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (m.values.(p) *. x.(m.cols.(p)))
+    done;
+    worst := Float.max !worst (Float.abs !acc)
+  done;
+  !worst
+
+(* ------------------------------------------------------------------ *)
+(* Left-looking LU with partial pivoting                               *)
+(* ------------------------------------------------------------------ *)
+
+type lu = {
+  lu_n : int;
+  lp : int array; (* n+1 column starts of L (unit diagonal stored first) *)
+  mutable li : int array; (* row indices of L entries, original numbering *)
+  mutable lx : float array;
+  up : int array; (* n+1 column starts of U (diagonal stored last) *)
+  mutable ui : int array; (* row indices of U entries, pivotal numbering *)
+  mutable ux : float array;
+  pinv : int array; (* original row -> pivotal position *)
+  p : int array; (* pivotal position -> original row *)
+  wx : float array; (* dense accumulator, zero outside the active column *)
+  stack : int array; (* DFS node stack *)
+  pstack : int array; (* DFS edge-position stack *)
+  order : int array; (* topological reach, filled from the top down *)
+  mark : int array; (* DFS visited stamps *)
+  y : float array; (* solve scratch *)
+}
+
+let lu_create m =
+  let n = m.n in
+  let cap = max 16 ((4 * nnz m) + n + 1) in
+  {
+    lu_n = n;
+    lp = Array.make (n + 1) 0;
+    li = Array.make cap 0;
+    lx = Array.make cap 0.0;
+    up = Array.make (n + 1) 0;
+    ui = Array.make cap 0;
+    ux = Array.make cap 0.0;
+    pinv = Array.make n (-1);
+    p = Array.make n 0;
+    wx = Array.make n 0.0;
+    stack = Array.make (max n 1) 0;
+    pstack = Array.make (max n 1) 0;
+    order = Array.make (max n 1) 0;
+    mark = Array.make (max n 1) 0;
+    y = Array.make n 0.0;
+  }
+
+let refactor lu m =
+  let n = m.n in
+  if lu.lu_n <> n then invalid_arg "Sparse.refactor: workspace dimension mismatch";
+  let mp = m.row_ptr and mi = m.cols and mx = m.values in
+  Array.fill lu.pinv 0 n (-1);
+  if n > 0 then begin
+    Array.fill lu.mark 0 n 0;
+    Array.fill lu.wx 0 n 0.0
+  end;
+  let lnz = ref 0 and unz = ref 0 in
+  for k = 0 to n - 1 do
+    lu.lp.(k) <- !lnz;
+    lu.up.(k) <- !unz;
+    (* grow-only capacity: a column adds at most n+1 entries to each *)
+    let need_l = !lnz + n + 1 and need_u = !unz + n + 1 in
+    if Array.length lu.li < need_l then begin
+      let cap = max need_l (2 * Array.length lu.li) in
+      let li = Array.make cap 0 and lx = Array.make cap 0.0 in
+      Array.blit lu.li 0 li 0 !lnz;
+      Array.blit lu.lx 0 lx 0 !lnz;
+      lu.li <- li;
+      lu.lx <- lx
+    end;
+    if Array.length lu.ui < need_u then begin
+      let cap = max need_u (2 * Array.length lu.ui) in
+      let ui = Array.make cap 0 and ux = Array.make cap 0.0 in
+      Array.blit lu.ui 0 ui 0 !unz;
+      Array.blit lu.ux 0 ux 0 !unz;
+      lu.ui <- ui;
+      lu.ux <- ux
+    end;
+    (* symbolic: topological reach of row k of A (column k of A^T)
+       through the graph of the L columns computed so far *)
+    let stamp = k + 1 in
+    let top = ref n in
+    for p0 = mp.(k) to mp.(k + 1) - 1 do
+      let root = mi.(p0) in
+      if lu.mark.(root) <> stamp then begin
+        let head = ref 0 in
+        lu.stack.(0) <- root;
+        while !head >= 0 do
+          let node = lu.stack.(!head) in
+          if lu.mark.(node) <> stamp then begin
+            lu.mark.(node) <- stamp;
+            lu.pstack.(!head) <-
+              (if lu.pinv.(node) < 0 then 0 else lu.lp.(lu.pinv.(node)) + 1)
+          end;
+          let jnew = lu.pinv.(node) in
+          let pend = if jnew < 0 then 0 else lu.lp.(jnew + 1) in
+          let pos = ref lu.pstack.(!head) in
+          let descended = ref false in
+          while (not !descended) && !pos < pend do
+            let child = lu.li.(!pos) in
+            incr pos;
+            if lu.mark.(child) <> stamp then begin
+              lu.pstack.(!head) <- !pos;
+              incr head;
+              lu.stack.(!head) <- child;
+              descended := true
+            end
+          done;
+          if not !descended then begin
+            decr head;
+            decr top;
+            lu.order.(!top) <- node
+          end
+        done
+      end
+    done;
+    (* numeric: scatter the row, then eliminate with the already
+       pivotal columns in topological order *)
+    for p0 = mp.(k) to mp.(k + 1) - 1 do
+      lu.wx.(mi.(p0)) <- mx.(p0)
+    done;
+    for px = !top to n - 1 do
+      let i = lu.order.(px) in
+      let jnew = lu.pinv.(i) in
+      if jnew >= 0 then begin
+        let xi = lu.wx.(i) in
+        if xi <> 0.0 then
+          for p0 = lu.lp.(jnew) + 1 to lu.lp.(jnew + 1) - 1 do
+            let r = lu.li.(p0) in
+            lu.wx.(r) <- lu.wx.(r) -. (lu.lx.(p0) *. xi)
+          done
+      end
+    done;
+    (* pivotal entries feed U; the largest non-pivotal entry pivots *)
+    let ipiv = ref (-1) and amax = ref 0.0 in
+    for px = !top to n - 1 do
+      let i = lu.order.(px) in
+      let jnew = lu.pinv.(i) in
+      if jnew >= 0 then begin
+        lu.ui.(!unz) <- jnew;
+        lu.ux.(!unz) <- lu.wx.(i);
+        incr unz
+      end
+      else begin
+        let a = Float.abs lu.wx.(i) in
+        if a > !amax then begin
+          amax := a;
+          ipiv := i
+        end
+      end
+    done;
+    if !ipiv < 0 || !amax = 0.0 then
+      raise (Singular (Printf.sprintf "Sparse.refactor: zero pivot at column %d" k));
+    let pivval = lu.wx.(!ipiv) in
+    lu.pinv.(!ipiv) <- k;
+    lu.p.(k) <- !ipiv;
+    lu.li.(!lnz) <- !ipiv;
+    lu.lx.(!lnz) <- 1.0;
+    incr lnz;
+    for px = !top to n - 1 do
+      let i = lu.order.(px) in
+      if lu.pinv.(i) < 0 then begin
+        lu.li.(!lnz) <- i;
+        lu.lx.(!lnz) <- lu.wx.(i) /. pivval;
+        incr lnz
+      end;
+      lu.wx.(i) <- 0.0
+    done;
+    lu.ui.(!unz) <- k;
+    lu.ux.(!unz) <- pivval;
+    incr unz
+  done;
+  lu.lp.(n) <- !lnz;
+  lu.up.(n) <- !unz
+
+let lu_solve lu b =
+  let n = lu.lu_n in
+  if Array.length b <> n then invalid_arg "Sparse.lu_solve: dimension mismatch";
+  let y = lu.y in
+  (* forward solve U^T y = b; U columns store their diagonal last *)
+  for k = 0 to n - 1 do
+    let acc = ref b.(k) in
+    let p1 = lu.up.(k + 1) in
+    for p = lu.up.(k) to p1 - 2 do
+      acc := !acc -. (lu.ux.(p) *. y.(lu.ui.(p)))
+    done;
+    y.(k) <- !acc /. lu.ux.(p1 - 1)
+  done;
+  (* backward solve L^T z = y in place; L columns store a unit diagonal
+     first and original row indices below *)
+  for k = n - 1 downto 0 do
+    let acc = ref y.(k) in
+    for p = lu.lp.(k) + 1 to lu.lp.(k + 1) - 1 do
+      acc := !acc -. (lu.lx.(p) *. y.(lu.pinv.(lu.li.(p))))
+    done;
+    y.(k) <- !acc
+  done;
+  (* undo the pivoting renumber: x_i = z_(pinv i) *)
+  Array.init n (fun i -> y.(lu.pinv.(i)))
+
+let solve m b =
+  let lu = lu_create m in
+  refactor lu m;
+  lu_solve lu b

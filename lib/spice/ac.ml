@@ -12,6 +12,7 @@ type result = {
   op : Dc.op_result; (* the bias point the circuit was linearised at *)
   freqs : float array; (* Hz *)
   solutions : Complex.t array array; (* one phasor vector per frequency *)
+  stats : Mna.stats; (* telemetry of the per-frequency complex solves *)
 }
 
 let complex x = { Complex.re = x; im = 0.0 }
@@ -102,16 +103,29 @@ let run ?(gmin = 1e-12) circuit ~freqs =
   Array.iter (fun f -> if f <= 0.0 then raise (Analysis_error "ac: f <= 0")) freqs;
   let op = Dc.operating_point ~gmin circuit in
   let compiled = op.Dc.compiled in
+  let n = Mna.size compiled in
+  let stats =
+    Mna.fresh_stats ~backend:"dense-complex" ~unknowns:n ~nonzeros:(n * n)
+  in
   let solutions =
     Array.map
       (fun f ->
+        let t0 = Unix.gettimeofday () in
         let jac, rhs = assemble compiled ~gmin ~x_op:op.Dc.solution f in
-        try Complex_linalg.solve jac rhs
-        with Complex_linalg.Singular msg ->
-          raise (Analysis_error (Printf.sprintf "ac: singular system at %g Hz: %s" f msg)))
+        let t1 = Unix.gettimeofday () in
+        stats.Mna.assemble_s <- stats.Mna.assemble_s +. (t1 -. t0);
+        let x =
+          try Complex_linalg.solve jac rhs
+          with Complex_linalg.Singular msg ->
+            raise
+              (Analysis_error (Printf.sprintf "ac: singular system at %g Hz: %s" f msg))
+        in
+        stats.Mna.solve_s <- stats.Mna.solve_s +. (Unix.gettimeofday () -. t1);
+        stats.Mna.linear_solves <- stats.Mna.linear_solves + 1;
+        x)
       freqs
   in
-  { compiled; op; freqs; solutions }
+  { compiled; op; freqs; solutions; stats }
 
 (* Node voltage phasor across the sweep. *)
 let voltage r name =

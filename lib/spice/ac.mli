@@ -10,6 +10,9 @@ type result = {
   op : Dc.op_result;  (** the linearisation point *)
   freqs : float array;  (** Hz *)
   solutions : Complex.t array array;
+  stats : Mna.stats;
+      (** telemetry of the per-frequency complex solves (the DC bias
+          solve accumulates into [Dc.stats op] separately) *)
 }
 
 val decade_frequencies :

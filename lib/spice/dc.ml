@@ -7,32 +7,47 @@ type op_result = {
   solution : float array;
 }
 
-let dc_wave w = Waveform.dc_value w
+let dc_wave _name w = Waveform.dc_value w
+
+(* Case-insensitive ASCII name equality without allocating. *)
+let names_equal a b =
+  String.length a = String.length b
+  &&
+  let n = String.length a in
+  let rec go i =
+    i >= n || (Char.lowercase_ascii a.[i] = Char.lowercase_ascii b.[i] && go (i + 1))
+  in
+  go 0
 
 (* Operating point with a gmin/source-stepping fallback: if the plain
    Newton solve fails, ramp all independent sources from zero to full
    value, reusing each solution as the next starting guess. *)
-let operating_point ?(gmin = 1e-12) circuit =
-  let compiled = Mna.compile circuit in
+let solve_op ?(gmin = 1e-12) compiled ~eval_wave =
   let x0 = Array.make (Mna.size compiled) 0.0 in
   let solve ~scale x_start =
     Mna.newton ~gmin compiled
-      ~eval_wave:(fun w -> scale *. dc_wave w)
+      ~eval_wave:(fun name w -> scale *. eval_wave name w)
       ~cap:Mna.Open_circuit x_start
   in
-  let solution =
-    try solve ~scale:1.0 x0
-    with Mna.No_convergence _ ->
-      (* source stepping *)
-      let steps = 20 in
-      let x = ref x0 in
-      for k = 1 to steps do
-        let scale = float_of_int k /. float_of_int steps in
-        x := solve ~scale !x
-      done;
-      !x
-  in
-  { compiled; solution }
+  try solve ~scale:1.0 x0
+  with Mna.No_convergence _ ->
+    (* source stepping *)
+    let steps = 20 in
+    let x = ref x0 in
+    for k = 1 to steps do
+      let scale = float_of_int k /. float_of_int steps in
+      x := solve ~scale !x
+    done;
+    !x
+
+let operating_point ?(gmin = 1e-12) ?backend circuit =
+  let compiled = Mna.compile ?backend circuit in
+  { compiled; solution = solve_op ~gmin compiled ~eval_wave:dc_wave }
+
+(* Operating point of an already-compiled circuit, sharing its solver
+   workspace and telemetry (used by transient to seed t = 0). *)
+let solve_compiled ?(gmin = 1e-12) compiled =
+  solve_op ~gmin compiled ~eval_wave:dc_wave
 
 let voltage r name = Mna.voltage r.compiled r.solution name
 let current r vname = Mna.vsource_current r.compiled r.solution vname
@@ -44,8 +59,7 @@ let set_vsource circuit name volts =
     List.map
       (fun e ->
         match e with
-        | Circuit.Vsource { name = vn; npos; nneg; ac; _ }
-          when String.lowercase_ascii vn = String.lowercase_ascii name ->
+        | Circuit.Vsource { name = vn; npos; nneg; ac; _ } when names_equal vn name ->
             found := true;
             Circuit.vsource ~ac vn npos nneg (Waveform.dc volts)
         | e -> e)
@@ -60,29 +74,56 @@ type sweep_result = {
   points : op_result array;
 }
 
+(* Number of sweep points for start/step/stop.  When step divides the
+   span (within rounding noise) the stop value is included; otherwise
+   the sweep truncates to the last point at or below stop rather than
+   overshooting it. *)
+let sweep_point_count ~start ~stop ~step =
+  if not (Float.is_finite start && Float.is_finite stop && Float.is_finite step)
+  then invalid_arg "Dc.sweep: start, stop and step must be finite";
+  if step <= 0.0 then invalid_arg "Dc.sweep: step must be positive";
+  if stop < start then invalid_arg "Dc.sweep: stop must not precede start";
+  let ratio = (stop -. start) /. step in
+  let nearest = Float.round ratio in
+  if Float.abs (ratio -. nearest) <= 1e-9 *. Float.max 1.0 (Float.abs ratio) then
+    int_of_float nearest + 1
+  else int_of_float (Float.floor ratio) + 1
+
 (* Sweep the DC value of a voltage source, warm-starting each point
-   from the previous solution. *)
-let sweep ?(gmin = 1e-12) circuit ~source ~start ~stop ~step =
-  if step <= 0.0 then raise (Analysis_error "dc sweep: step must be positive");
-  let n = int_of_float (Float.round ((stop -. start) /. step)) + 1 in
-  if n < 1 then raise (Analysis_error "dc sweep: empty range");
+   from the previous solution.  The circuit is compiled once; the swept
+   source is overridden by name inside [eval_wave], so the matrix
+   structure, slot program and solver workspace are shared by every
+   point. *)
+let sweep ?(gmin = 1e-12) ?backend circuit ~source ~start ~stop ~step =
+  let n = sweep_point_count ~start ~stop ~step in
+  let source_exists =
+    List.exists
+      (function
+        | Circuit.Vsource { name; _ } -> names_equal name source
+        | _ -> false)
+      (Circuit.elements circuit)
+  in
+  if not source_exists then
+    raise
+      (Analysis_error (Printf.sprintf "dc sweep: no voltage source named %s" source));
+  let compiled = Mna.compile ?backend circuit in
   let values = Array.init n (fun i -> start +. (float_of_int i *. step)) in
+  let swept = ref start in
+  let eval_wave name w = if names_equal name source then !swept else Waveform.dc_value w in
   let points =
     let prev = ref None in
     Array.map
       (fun v ->
-        let circuit' = set_vsource circuit source v in
-        let compiled = Mna.compile circuit' in
-        let x0 =
-          match !prev with
-          | Some p -> Array.copy p.solution
-          | None -> Array.make (Mna.size compiled) 0.0
-        in
+        swept := v;
         let solution =
-          try
-            Mna.newton ~gmin compiled ~eval_wave:dc_wave ~cap:Mna.Open_circuit x0
-          with Mna.No_convergence _ ->
-            (operating_point ~gmin circuit').solution
+          match !prev with
+          | Some p -> begin
+              try
+                Mna.newton ~gmin compiled ~eval_wave ~cap:Mna.Open_circuit
+                  (Array.copy p.solution)
+              with Mna.No_convergence _ -> solve_op ~gmin compiled ~eval_wave
+            end
+          | None -> solve_op ~gmin compiled ~eval_wave
         in
         let r = { compiled; solution } in
         prev := Some r;
@@ -93,3 +134,6 @@ let sweep ?(gmin = 1e-12) circuit ~source ~start ~stop ~step =
 
 let sweep_voltage r name = Array.map (fun p -> voltage p name) r.points
 let sweep_current r vname = Array.map (fun p -> current p vname) r.points
+
+let stats r = Mna.stats r.compiled
+let sweep_stats r = if Array.length r.points = 0 then None else Some (stats r.points.(0))

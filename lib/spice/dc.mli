@@ -8,11 +8,20 @@ type op_result = {
   solution : float array;
 }
 
-val operating_point : ?gmin:float -> Circuit.t -> op_result
+val operating_point :
+  ?gmin:float -> ?backend:Cnt_numerics.Linear_solver.backend -> Circuit.t -> op_result
 
 val voltage : op_result -> string -> float
 val current : op_result -> string -> float
 (** Current through a named voltage source. *)
+
+val stats : op_result -> Mna.stats
+(** Solver telemetry accumulated while computing this result. *)
+
+val solve_compiled : ?gmin:float -> Mna.compiled -> float array
+(** Operating point of an already-compiled circuit (same fallback
+    strategy as {!operating_point}), reusing its solver workspace and
+    accumulating into its telemetry. *)
 
 val set_vsource : Circuit.t -> string -> float -> Circuit.t
 (** Copy of the circuit with one voltage source replaced by a DC value
@@ -25,6 +34,7 @@ type sweep_result = {
 
 val sweep :
   ?gmin:float ->
+  ?backend:Cnt_numerics.Linear_solver.backend ->
   Circuit.t ->
   source:string ->
   start:float ->
@@ -32,7 +42,17 @@ val sweep :
   step:float ->
   sweep_result
 (** Sweep the DC value of [source], warm-starting each operating point
-    from the previous one. *)
+    from the previous one.  The circuit is compiled once and the swept
+    source overridden by name, so every point shares one matrix
+    structure and solver workspace.  Raises [Invalid_argument] when
+    [step <= 0], when [stop < start], or when any bound is not finite;
+    raises {!Analysis_error} when [source] names no voltage source.
+    When [step] does not divide the range, the sweep stops at the last
+    point not beyond [stop]. *)
 
 val sweep_voltage : sweep_result -> string -> float array
 val sweep_current : sweep_result -> string -> float array
+
+val sweep_stats : sweep_result -> Mna.stats option
+(** Telemetry accumulated across all sweep points ([None] for an empty
+    sweep). *)

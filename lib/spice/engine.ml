@@ -5,6 +5,7 @@ type table = {
   analysis_label : string;
   columns : string array; (* first column is the sweep/time variable *)
   rows : float array array;
+  stats : Mna.stats option; (* solver telemetry for this analysis *)
 }
 
 let default_prints circuit prints =
@@ -31,8 +32,8 @@ let device_current circuit compiled solution name =
       invalid_arg (Printf.sprintf "id(%s): element is not a CNFET" name)
   | None -> invalid_arg (Printf.sprintf "id(%s): no such element" name)
 
-let op_table circuit prints =
-  let r = Dc.operating_point circuit in
+let op_table ?backend circuit prints =
+  let r = Dc.operating_point ?backend circuit in
   let prints = default_prints circuit prints in
   let columns = Array.of_list (List.map print_label prints) in
   let row =
@@ -45,10 +46,10 @@ let op_table circuit prints =
                device_current circuit r.Dc.compiled r.Dc.solution d)
          prints)
   in
-  { analysis_label = "op"; columns; rows = [| row |] }
+  { analysis_label = "op"; columns; rows = [| row |]; stats = Some (Dc.stats r) }
 
-let dc_table circuit prints ~source ~start ~stop ~step =
-  let r = Dc.sweep circuit ~source ~start ~stop ~step in
+let dc_table ?backend circuit prints ~source ~start ~stop ~step =
+  let r = Dc.sweep ?backend circuit ~source ~start ~stop ~step in
   let prints = default_prints circuit prints in
   let columns =
     Array.of_list (source :: List.map print_label prints)
@@ -72,6 +73,7 @@ let dc_table circuit prints ~source ~start ~stop ~step =
     analysis_label = Printf.sprintf "dc %s %g %g %g" source start stop step;
     columns;
     rows;
+    stats = Dc.sweep_stats r;
   }
 
 let ac_table circuit prints ~per_decade ~fstart ~fstop =
@@ -114,10 +116,11 @@ let ac_table circuit prints ~per_decade ~fstart ~fstop =
     analysis_label = Printf.sprintf "ac dec %d %g %g" per_decade fstart fstop;
     columns;
     rows;
+    stats = Some r.Ac.stats;
   }
 
-let tran_table circuit prints ~tstep ~tstop =
-  let r = Transient.run circuit ~tstep ~tstop in
+let tran_table ?backend circuit prints ~tstep ~tstop =
+  let r = Transient.run ?backend circuit ~tstep ~tstop in
   let prints = default_prints circuit prints in
   let columns = Array.of_list ("time" :: List.map print_label prints) in
   let waves =
@@ -136,23 +139,29 @@ let tran_table circuit prints ~tstep ~tstop =
       (fun i t -> Array.of_list (t :: List.map (fun w -> w.(i)) waves))
       r.Transient.times
   in
-  { analysis_label = Printf.sprintf "tran %g %g" tstep tstop; columns; rows }
+  {
+    analysis_label = Printf.sprintf "tran %g %g" tstep tstop;
+    columns;
+    rows;
+    stats = Some (Transient.stats r);
+  }
 
-let run_deck (deck : Parser.deck) =
+let run_deck ?backend (deck : Parser.deck) =
   List.map
     (fun analysis ->
       match analysis with
-      | Parser.Op -> op_table deck.Parser.circuit deck.Parser.prints
+      | Parser.Op -> op_table ?backend deck.Parser.circuit deck.Parser.prints
       | Parser.Dc_sweep { source; start; stop; step } ->
-          dc_table deck.Parser.circuit deck.Parser.prints ~source ~start ~stop ~step
+          dc_table ?backend deck.Parser.circuit deck.Parser.prints ~source ~start
+            ~stop ~step
       | Parser.Tran { tstep; tstop } ->
-          tran_table deck.Parser.circuit deck.Parser.prints ~tstep ~tstop
+          tran_table ?backend deck.Parser.circuit deck.Parser.prints ~tstep ~tstop
       | Parser.Ac_sweep { per_decade; fstart; fstop } ->
           ac_table deck.Parser.circuit deck.Parser.prints ~per_decade ~fstart
             ~fstop)
     deck.Parser.analyses
 
-let pp_table ?(max_rows = max_int) fmt t =
+let pp_table ?(max_rows = max_int) ?(stats = false) fmt t =
   Format.fprintf fmt "* %s@." t.analysis_label;
   Format.fprintf fmt "%s@."
     (String.concat "\t" (Array.to_list (Array.map (Printf.sprintf "%-14s") t.columns)));
@@ -163,7 +172,12 @@ let pp_table ?(max_rows = max_int) fmt t =
       (String.concat "\t"
          (Array.to_list (Array.map (Printf.sprintf "%-14.6g") t.rows.(i))))
   done;
-  if shown < n then Format.fprintf fmt "... (%d more rows)@." (n - shown)
+  if shown < n then Format.fprintf fmt "... (%d more rows)@." (n - shown);
+  if stats then begin
+    match t.stats with
+    | Some s -> Format.fprintf fmt "%a@." Mna.pp_stats s
+    | None -> Format.fprintf fmt "(no solver statistics)@."
+  end
 
 let table_to_csv t =
   let buf = Buffer.create 1024 in

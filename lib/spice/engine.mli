@@ -5,11 +5,18 @@ type table = {
   analysis_label : string;
   columns : string array;
   rows : float array array;
+  stats : Mna.stats option;  (** solver telemetry for this analysis *)
 }
 
-val run_deck : Parser.deck -> table list
+val run_deck :
+  ?backend:Cnt_numerics.Linear_solver.backend -> Parser.deck -> table list
 (** Run every analysis in deck order.  When the deck has no [.print]
-    directive, all node voltages are reported. *)
+    directive, all node voltages are reported.  [backend] selects the
+    linear solver for DC and transient analyses ([Auto] default; AC
+    always uses the dense complex solver). *)
 
-val pp_table : ?max_rows:int -> Format.formatter -> table -> unit
+val pp_table : ?max_rows:int -> ?stats:bool -> Format.formatter -> table -> unit
+(** Pretty-print a table; [~stats:true] appends a solver-statistics
+    footer. *)
+
 val table_to_csv : table -> string

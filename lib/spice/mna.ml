@@ -1,15 +1,127 @@
-(* Modified nodal analysis: compilation of a netlist to matrix indices,
-   assembly of the linearised system at a candidate solution, and the
-   damped Newton loop shared by the DC and transient engines.
+(* Modified nodal analysis, split into a symbolic compilation and a
+   numeric refill.
+
+   [compile] resolves the netlist once: node names become indices,
+   elements become a typed device array, and a symbolic stamping pass
+   records the Jacobian sparsity pattern together with a slot
+   [program] — the exact sequence of matrix locations the stamps touch.
+   The backing matrix lives in a {!Linear_solver.instance} (dense or
+   sparse CSR, selectable), allocated once.
+
+   Each Newton iteration then performs a numeric refill: clear the
+   matrix values, replay the stamp sequence through the recorded slot
+   program (a cursor walk over an [int array] — no hashing, no index
+   arithmetic beyond the replay), overwrite the right-hand side, and
+   solve in the backend's preallocated workspace.  The inner loop
+   allocates no matrices.
 
    Unknown vector layout: node voltages first (one per non-ground
-   node), then one branch current per voltage source.  Equations:
-   KCL rows (currents leaving the node sum to the injected current),
-   then one v+ - v- = E row per voltage source. *)
+   node), then one branch current per voltage source or inductor.
+   Equations: KCL rows (currents leaving the node sum to the injected
+   current), then one branch equation per source/inductor. *)
 
 open Cnt_numerics
 
 exception No_convergence of string
+
+(* ------------------------------------------------------------------ *)
+(* Solver statistics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  backend : string;
+  unknowns : int;
+  nonzeros : int;
+  mutable newton_iterations : int;
+  mutable linear_solves : int;
+  mutable device_evals : int;
+  mutable assemble_s : float;
+  mutable solve_s : float;
+  mutable residual : float;
+}
+
+let fresh_stats ~backend ~unknowns ~nonzeros =
+  {
+    backend;
+    unknowns;
+    nonzeros;
+    newton_iterations = 0;
+    linear_solves = 0;
+    device_evals = 0;
+    assemble_s = 0.0;
+    solve_s = 0.0;
+    residual = 0.0;
+  }
+
+let reset_stats s =
+  s.newton_iterations <- 0;
+  s.linear_solves <- 0;
+  s.device_evals <- 0;
+  s.assemble_s <- 0.0;
+  s.solve_s <- 0.0;
+  s.residual <- 0.0
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>solver   : %s backend, %d unknowns, %d stored entries@,\
+     newton   : %d iterations, %d linear solves, %d device evals@,\
+     time     : %.3g s assemble, %.3g s factor+solve@,\
+     residual : %.3g (inf-norm, last linearisation)@]"
+    s.backend s.unknowns s.nonzeros s.newton_iterations s.linear_solves
+    s.device_evals s.assemble_s s.solve_s s.residual
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Companion models                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Companion stamps for capacitors during transient analysis: the cap
+   between nodes (a, b) behaves as conductance [geq] in parallel with a
+   current source [ieq] flowing a -> b internally. *)
+type cap_companion = {
+  geq : float;
+  ieq : float;
+}
+
+type cap_policy =
+  | Open_circuit (* DC: capacitors carry no current *)
+  | Companions of cap_companion array (* one per capacitor, netlist order *)
+
+(* Inductor branch equation during transient analysis:
+   v+ - v- - zeq * i = veq.  At DC an inductor is a short
+   (zeq = veq = 0). *)
+type ind_companion = {
+  zeq : float;
+  veq : float;
+}
+
+type ind_policy =
+  | Short_circuit (* DC: inductors are shorts *)
+  | Ind_companions of ind_companion array (* one per inductor, netlist order *)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled circuits                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Netlist elements with node names resolved to unknown indices
+   (-1 = ground).  [ci]/[li] index the companion arrays supplied per
+   Newton call; CNFET intrinsic capacitances claim companion slots just
+   like explicit capacitors ([cgs_i] = -1 when the device has none). *)
+type device =
+  | Dresistor of { a : int; b : int; g : float }
+  | Dcapacitor of { a : int; b : int; ci : int }
+  | Dinductor of { a : int; b : int; row : int; li : int }
+  | Dvsource of { p : int; m : int; row : int; name : string; wave : Waveform.t }
+  | Disource of { p : int; m : int; name : string; wave : Waveform.t }
+  | Dcnfet of {
+      d : int;
+      g : int;
+      s : int;
+      model : Cnt_core.Cnt_model.t;
+      cgs_i : int;
+      cgd_i : int;
+    }
 
 type compiled = {
   circuit : Circuit.t;
@@ -18,37 +130,20 @@ type compiled = {
   n_nodes : int;
   branch_of_vsource : (string, int) Hashtbl.t; (* name -> row offset *)
   n_branches : int;
+  devices : device array;
+  zero_caps : cap_companion array; (* Open_circuit as all-zero companions *)
+  zero_inds : ind_companion array; (* Short_circuit likewise *)
+  solver : Linear_solver.instance;
+  program : int array; (* backend slots in stamp emission order *)
+  rhs : float array; (* refilled in place each iteration *)
+  stats : stats;
 }
-
-let compile circuit =
-  let node_of_name = Hashtbl.create 16 in
-  let names = Circuit.nodes circuit in
-  List.iteri (fun i n -> Hashtbl.add node_of_name n i) names;
-  let branch_of_vsource = Hashtbl.create 4 in
-  let n_branches = ref 0 in
-  (* voltage sources and inductors each carry a branch-current unknown,
-     allocated in element order *)
-  List.iter
-    (fun e ->
-      match e with
-      | Circuit.Vsource { name; _ } | Circuit.Inductor { name; _ } ->
-          Hashtbl.add branch_of_vsource (String.lowercase_ascii name) !n_branches;
-          incr n_branches
-      | _ -> ())
-    (Circuit.elements circuit);
-  {
-    circuit;
-    node_of_name;
-    names = Array.of_list names;
-    n_nodes = List.length names;
-    branch_of_vsource;
-    n_branches = !n_branches;
-  }
 
 let size c = c.n_nodes + c.n_branches
 
 let circuit c = c.circuit
 let node_count c = c.n_nodes
+let stats c = c.stats
 
 (* Node index, or -1 for ground. *)
 let node_id c name =
@@ -74,30 +169,6 @@ let voltage c x name =
 (* Current through a voltage source in a solution vector (SPICE sign:
    positive flows into the + terminal and through the source). *)
 let vsource_current c x vname = x.(branch_id c vname)
-
-(* Companion stamps for capacitors during transient analysis: the cap
-   between nodes (a, b) behaves as conductance [geq] in parallel with a
-   current source [ieq] flowing a -> b internally. *)
-type cap_companion = {
-  geq : float;
-  ieq : float;
-}
-
-type cap_policy =
-  | Open_circuit (* DC: capacitors carry no current *)
-  | Companions of cap_companion array (* one per capacitor, netlist order *)
-
-(* Inductor branch equation during transient analysis:
-   v+ - v- - zeq * i = veq.  At DC an inductor is a short
-   (zeq = veq = 0). *)
-type ind_companion = {
-  zeq : float;
-  veq : float;
-}
-
-type ind_policy =
-  | Short_circuit (* DC: inductors are shorts *)
-  | Ind_companions of ind_companion array (* one per inductor, netlist order *)
 
 (* Inductors in netlist order as (n1, n2, branch_index, henries). *)
 let inductors c =
@@ -130,16 +201,19 @@ let capacitors c =
     (Circuit.elements c.circuit)
   |> Array.of_list
 
-(* Assemble the linearised MNA system J x = b at candidate solution
-   [x].  [eval_wave] supplies each independent source value (time- or
-   sweep-dependent); [gmin] is a stabilising conductance from every
-   node to ground. *)
-let assemble c ~eval_wave ~cap ?(ind = Short_circuit) ~gmin x =
-  let n = size c in
-  let jac = Linalg.Mat.make n n 0.0 in
-  let rhs = Array.make n 0.0 in
-  let add_j i j v = if i >= 0 && j >= 0 then Linalg.Mat.add_to jac i j v in
-  let add_b i v = if i >= 0 then rhs.(i) <- rhs.(i) +. v in
+(* ------------------------------------------------------------------ *)
+(* Stamping                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Emit every Jacobian and right-hand-side contribution at candidate
+   solution [x].  The [add_j] call sequence is value-independent:
+   capacitors and inductors are always stamped (with zero companions at
+   DC), so the symbolic pass records a slot program that the numeric
+   pass replays one-for-one.  Any structural change must keep the two
+   passes emitting identical sequences. *)
+let stamp_system ~stats ~devices ~n_nodes ~add_j ~add_b ~eval_wave ~caps ~inds
+    ~gmin x =
+  let v_of i = if i < 0 then 0.0 else x.(i) in
   let stamp_conductance a b g =
     add_j a a g;
     add_j b b g;
@@ -151,71 +225,47 @@ let assemble c ~eval_wave ~cap ?(ind = Short_circuit) ~gmin x =
     add_b a (-.i0);
     add_b b i0
   in
-  let v_of i = if i < 0 then 0.0 else x.(i) in
-  for i = 0 to c.n_nodes - 1 do
-    Linalg.Mat.add_to jac i i gmin
+  let stamp_cap_companion a b ci =
+    let { geq; ieq } = caps.(ci) in
+    stamp_conductance a b geq;
+    stamp_current a b ieq
+  in
+  for i = 0 to n_nodes - 1 do
+    add_j i i gmin
   done;
-  let cap_index = ref 0 in
-  let ind_index = ref 0 in
-  let branch = ref c.n_nodes in
-  List.iter
-    (fun e ->
-      match e with
-      | Circuit.Resistor { n1; n2; ohms; _ } ->
-          let a = node_id c n1 and b = node_id c n2 in
-          stamp_conductance a b (1.0 /. ohms)
-      | Circuit.Capacitor { n1; n2; _ } -> begin
-          let a = node_id c n1 and b = node_id c n2 in
-          match cap with
-          | Open_circuit -> ()
-          | Companions comps ->
-              let { geq; ieq } = comps.(!cap_index) in
-              incr cap_index;
-              stamp_conductance a b geq;
-              stamp_current a b ieq
-        end
-      | Circuit.Inductor { n1; n2; _ } ->
-          let a = node_id c n1 and b = node_id c n2 in
-          let row = !branch in
-          incr branch;
+  Array.iter
+    (fun dev ->
+      match dev with
+      | Dresistor { a; b; g } -> stamp_conductance a b g
+      | Dcapacitor { a; b; ci } -> stamp_cap_companion a b ci
+      | Dinductor { a; b; row; li } ->
+          let { zeq; veq } = inds.(li) in
           (* branch current leaves n1 into the inductor *)
           add_j a row 1.0;
           add_j b row (-1.0);
           (* branch equation: v1 - v2 - zeq*i = veq *)
           add_j row a 1.0;
           add_j row b (-1.0);
-          (match ind with
-          | Short_circuit -> ()
-          | Ind_companions comps ->
-              let { zeq; veq } = comps.(!ind_index) in
-              incr ind_index;
-              add_j row row (-.zeq);
-              rhs.(row) <- rhs.(row) +. veq)
-      | Circuit.Vsource { npos; nneg; wave; _ } ->
-          let p = node_id c npos and m = node_id c nneg in
-          let row = !branch in
-          incr branch;
+          add_j row row (-.zeq);
+          add_b row veq
+      | Dvsource { p; m; row; name; wave } ->
           (* branch current leaves the + node into the source *)
           add_j p row 1.0;
           add_j m row (-1.0);
           (* branch equation: v+ - v- = E *)
           add_j row p 1.0;
           add_j row m (-1.0);
-          rhs.(row) <- rhs.(row) +. eval_wave wave
-      | Circuit.Isource { npos; nneg; wave; _ } ->
-          let p = node_id c npos and m = node_id c nneg in
+          add_b row (eval_wave name wave)
+      | Disource { p; m; name; wave } ->
           (* SPICE convention: positive current flows p -> m through
              the source, i.e. it is extracted from p and injected at m *)
-          stamp_current p m (eval_wave wave)
-      | Circuit.Cnfet { drain; gate; source; params; _ } ->
-          let d = node_id c drain
-          and g = node_id c gate
-          and s = node_id c source in
-          let model = params.Circuit.model in
+          stamp_current p m (eval_wave name wave)
+      | Dcnfet { d; g; s; model; cgs_i; cgd_i } ->
           let vgs = v_of g -. v_of s and vds = v_of d -. v_of s in
           let i0 = Cnt_core.Cnt_model.ids model ~vgs ~vds in
           let gm = Cnt_core.Cnt_model.gm model ~vgs ~vds in
           let gds = Cnt_core.Cnt_model.gds model ~vgs ~vds in
+          stats.device_evals <- stats.device_evals + 1;
           (* linearised drain current i = ieq + gm*vgs + gds*vds *)
           let ieq = i0 -. (gm *. vgs) -. (gds *. vds) in
           add_j d g gm;
@@ -225,43 +275,197 @@ let assemble c ~eval_wave ~cap ?(ind = Short_circuit) ~gmin x =
           stamp_conductance d s gds;
           stamp_current d s ieq;
           (* intrinsic capacitances participate like explicit ones *)
-          (match Circuit.cnfet_intrinsic_caps params with
-          | None -> ()
-          | Some _ -> begin
-              match cap with
-              | Open_circuit ->
-                  cap_index := !cap_index + 2
-              | Companions comps ->
-                  let stamp_cap a b =
-                    let { geq; ieq } = comps.(!cap_index) in
-                    incr cap_index;
-                    stamp_conductance a b geq;
-                    stamp_current a b ieq
-                  in
-                  stamp_cap g s;
-                  stamp_cap g d
-            end))
-    (Circuit.elements c.circuit);
-  (jac, rhs)
+          if cgs_i >= 0 then begin
+            stamp_cap_companion g s cgs_i;
+            stamp_cap_companion g d cgd_i
+          end)
+    devices
+
+(* ------------------------------------------------------------------ *)
+(* Compilation: symbolic pass                                          *)
+(* ------------------------------------------------------------------ *)
+
+let compile ?(backend = Linear_solver.Auto) circuit =
+  let node_of_name = Hashtbl.create 16 in
+  let names = Circuit.nodes circuit in
+  List.iteri (fun i n -> Hashtbl.add node_of_name n i) names;
+  let n_nodes = List.length names in
+  let branch_of_vsource = Hashtbl.create 4 in
+  let n_branches = ref 0 in
+  (* voltage sources and inductors each carry a branch-current unknown,
+     allocated in element order *)
+  List.iter
+    (fun e ->
+      match e with
+      | Circuit.Vsource { name; _ } | Circuit.Inductor { name; _ } ->
+          Hashtbl.add branch_of_vsource (String.lowercase_ascii name) !n_branches;
+          incr n_branches
+      | _ -> ())
+    (Circuit.elements circuit);
+  let id name =
+    if Circuit.is_ground name then -1
+    else Hashtbl.find node_of_name (String.lowercase_ascii name)
+  in
+  (* resolve elements into the device array; allocate companion slots *)
+  let n_caps = ref 0 and n_inds = ref 0 and branch = ref n_nodes in
+  let devices =
+    List.filter_map
+      (fun e ->
+        match e with
+        | Circuit.Resistor { n1; n2; ohms; _ } ->
+            Some (Dresistor { a = id n1; b = id n2; g = 1.0 /. ohms })
+        | Circuit.Capacitor { n1; n2; _ } ->
+            let ci = !n_caps in
+            incr n_caps;
+            Some (Dcapacitor { a = id n1; b = id n2; ci })
+        | Circuit.Inductor { n1; n2; _ } ->
+            let row = !branch and li = !n_inds in
+            incr branch;
+            incr n_inds;
+            Some (Dinductor { a = id n1; b = id n2; row; li })
+        | Circuit.Vsource { name; npos; nneg; wave; _ } ->
+            let row = !branch in
+            incr branch;
+            Some (Dvsource { p = id npos; m = id nneg; row; name; wave })
+        | Circuit.Isource { name; npos; nneg; wave; _ } ->
+            Some (Disource { p = id npos; m = id nneg; name; wave })
+        | Circuit.Cnfet { drain; gate; source; params; _ } ->
+            let cgs_i, cgd_i =
+              match Circuit.cnfet_intrinsic_caps params with
+              | None -> (-1, -1)
+              | Some _ ->
+                  let i = !n_caps in
+                  n_caps := !n_caps + 2;
+                  (i, i + 1)
+            in
+            Some
+              (Dcnfet
+                 {
+                   d = id drain;
+                   g = id gate;
+                   s = id source;
+                   model = params.Circuit.model;
+                   cgs_i;
+                   cgd_i;
+                 }))
+      (Circuit.elements circuit)
+    |> Array.of_list
+  in
+  let n = n_nodes + !n_branches in
+  let zero_caps = Array.make !n_caps { geq = 0.0; ieq = 0.0 } in
+  let zero_inds = Array.make !n_inds { zeq = 0.0; veq = 0.0 } in
+  (* symbolic pass: record the (row, col) sequence the stamps emit *)
+  let recorded = ref [] and n_recorded = ref 0 in
+  let record i j _v =
+    if i >= 0 && j >= 0 then begin
+      recorded := (i, j) :: !recorded;
+      incr n_recorded
+    end
+  in
+  let scratch_stats = fresh_stats ~backend:"" ~unknowns:n ~nonzeros:0 in
+  stamp_system ~stats:scratch_stats ~devices ~n_nodes ~add_j:record
+    ~add_b:(fun _ _ -> ())
+    ~eval_wave:(fun _ _ -> 0.0)
+    ~caps:zero_caps ~inds:zero_inds ~gmin:0.0 (Array.make n 0.0);
+  let pattern = Array.make !n_recorded (0, 0) in
+  List.iteri
+    (fun k ij -> pattern.(!n_recorded - 1 - k) <- ij)
+    !recorded;
+  let solver = Linear_solver.make backend n pattern in
+  let program =
+    Array.map (fun (i, j) -> solver.Linear_solver.slot i j) pattern
+  in
+  {
+    circuit;
+    node_of_name;
+    names = Array.of_list names;
+    n_nodes;
+    branch_of_vsource;
+    n_branches = !n_branches;
+    devices;
+    zero_caps;
+    zero_inds;
+    solver;
+    program;
+    rhs = Array.make n 0.0;
+    stats =
+      fresh_stats ~backend:solver.Linear_solver.backend_name ~unknowns:n
+        ~nonzeros:solver.Linear_solver.nnz;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Numeric refill and the Newton loop                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Overwrite matrix values and rhs in place by replaying the recorded
+   slot program.  Allocation-free apart from the two small closures. *)
+let refill c ~eval_wave ~caps ~inds ~gmin x =
+  c.solver.Linear_solver.clear ();
+  Array.fill c.rhs 0 (Array.length c.rhs) 0.0;
+  let program = c.program in
+  let add = c.solver.Linear_solver.add_slot in
+  let cursor = ref 0 in
+  let add_j i j v =
+    if i >= 0 && j >= 0 then begin
+      add program.(!cursor) v;
+      incr cursor
+    end
+  in
+  let add_b i v = if i >= 0 then c.rhs.(i) <- c.rhs.(i) +. v in
+  stamp_system ~stats:c.stats ~devices:c.devices ~n_nodes:c.n_nodes ~add_j
+    ~add_b ~eval_wave ~caps ~inds ~gmin x;
+  if !cursor <> Array.length program then
+    invalid_arg "Mna.refill: stamp sequence diverged from compiled program"
+
+let companions_of_policies c ~cap ~ind =
+  let caps =
+    match cap with
+    | Open_circuit -> c.zero_caps
+    | Companions a ->
+        if Array.length a <> Array.length c.zero_caps then
+          invalid_arg "Mna.newton: capacitor companion count mismatch";
+        a
+  in
+  let inds =
+    match ind with
+    | Short_circuit -> c.zero_inds
+    | Ind_companions a ->
+        if Array.length a <> Array.length c.zero_inds then
+          invalid_arg "Mna.newton: inductor companion count mismatch";
+        a
+  in
+  (caps, inds)
 
 (* Damped Newton iteration.  [x0] is the starting guess; voltage
    updates are clamped to [max_step] volts per iteration to tame the
    exponential device characteristics. *)
 let newton ?(gmin = 1e-12) ?(tol = 1e-9) ?(max_iter = 200) ?(max_step = 0.5)
-    ?ind c ~eval_wave ~cap x0 =
+    ?(ind = Short_circuit) c ~eval_wave ~cap x0 =
   let n = size c in
+  let caps, inds = companions_of_policies c ~cap ~ind in
   let x = Array.copy x0 in
   let converged = ref false in
   let iter = ref 0 in
+  let st = c.stats in
   while (not !converged) && !iter < max_iter do
     incr iter;
-    let jac, rhs = assemble c ~eval_wave ~cap ?ind ~gmin x in
+    st.newton_iterations <- st.newton_iterations + 1;
+    let t0 = now () in
+    refill c ~eval_wave ~caps ~inds ~gmin x;
+    let t1 = now () in
+    st.assemble_s <- st.assemble_s +. (t1 -. t0);
+    (* Newton residual of the current iterate, before the solve *)
+    st.residual <- c.solver.Linear_solver.residual x c.rhs;
     let x_new =
-      try Linalg.solve jac rhs
-      with Linalg.Singular msg -> raise (No_convergence ("singular MNA matrix: " ^ msg))
+      try c.solver.Linear_solver.solve c.rhs
+      with Linear_solver.Singular msg ->
+        raise (No_convergence ("singular MNA matrix: " ^ msg))
     in
+    st.solve_s <- st.solve_s +. (now () -. t1);
+    st.linear_solves <- st.linear_solves + 1;
     (* clamp the update *)
     let worst = ref 0.0 in
+    let norm = ref 0.0 in
     for i = 0 to n - 1 do
       let dx = x_new.(i) -. x.(i) in
       let dx_limited =
@@ -269,9 +473,10 @@ let newton ?(gmin = 1e-12) ?(tol = 1e-9) ?(max_iter = 200) ?(max_step = 0.5)
         else dx
       in
       if i < c.n_nodes then worst := Float.max !worst (Float.abs dx);
-      x.(i) <- x.(i) +. dx_limited
+      x.(i) <- x.(i) +. dx_limited;
+      norm := Float.max !norm (Float.abs x.(i))
     done;
-    if !worst <= tol *. Float.max 1.0 (Linalg.Vec.norm_inf x) then converged := true
+    if !worst <= tol *. Float.max 1.0 !norm then converged := true
   done;
   if not !converged then
     raise (No_convergence (Printf.sprintf "Newton: %d iterations" max_iter));

@@ -1,17 +1,56 @@
-(** Modified nodal analysis: netlist compilation, linearised assembly,
-    and the damped Newton loop shared by DC and transient analyses. *)
+(** Modified nodal analysis with a symbolic/numeric split.
+
+    {!compile} runs once per netlist: it resolves node names to unknown
+    indices, lowers elements to a typed device array, records the
+    Jacobian sparsity pattern from a symbolic stamping pass, and
+    allocates a {!Cnt_numerics.Linear_solver} backend (dense or sparse,
+    [Auto] picks sparse at {!Cnt_numerics.Linear_solver.auto_threshold}
+    unknowns).  Each Newton iteration then refills the matrix values in
+    place by replaying the recorded stamp program — the inner loop
+    performs no matrix allocation in either backend.
+
+    Unknowns are node voltages first, then one branch current per
+    voltage source or inductor. *)
 
 open Cnt_numerics
 
 exception No_convergence of string
 
+(** Accumulated per-analysis solver telemetry.  The structural fields
+    ([backend], [unknowns], [nonzeros]) are fixed at compile time; the
+    counters accumulate across {!newton} calls until {!reset_stats}. *)
+type stats = {
+  backend : string;  (** linear-solver backend name *)
+  unknowns : int;
+  nonzeros : int;  (** stored matrix entries *)
+  mutable newton_iterations : int;
+  mutable linear_solves : int;
+  mutable device_evals : int;  (** non-linear device model evaluations *)
+  mutable assemble_s : float;  (** wall time refilling matrix and rhs *)
+  mutable solve_s : float;  (** wall time factoring and solving *)
+  mutable residual : float;
+      (** inf-norm Newton residual [||J x - b||] at the last
+          linearisation point *)
+}
+
+val fresh_stats : backend:string -> unknowns:int -> nonzeros:int -> stats
+(** A zeroed record for analyses that run their own solver (AC). *)
+
+val reset_stats : stats -> unit
+(** Zero the mutable counters, keeping the structural fields. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
 type compiled
 
-val compile : Circuit.t -> compiled
+val compile : ?backend:Linear_solver.backend -> Circuit.t -> compiled
+(** Symbolic compilation: pattern, stamp program, and solver workspace
+    are allocated here, once.  [backend] defaults to
+    [Linear_solver.Auto]. *)
 
 val size : compiled -> int
-(** Number of unknowns: non-ground nodes plus voltage-source
-    branches. *)
+(** Number of unknowns: non-ground nodes plus voltage-source and
+    inductor branches. *)
 
 val circuit : compiled -> Circuit.t
 (** The netlist this was compiled from. *)
@@ -19,6 +58,9 @@ val circuit : compiled -> Circuit.t
 val node_count : compiled -> int
 (** Number of non-ground nodes (indices below this are node
     voltages). *)
+
+val stats : compiled -> stats
+(** The telemetry record this compiled circuit accumulates into. *)
 
 val node_id : compiled -> string -> int
 (** Index of a node ([-1] for ground). *)
@@ -64,16 +106,6 @@ val capacitors : compiled -> (int * int * float) array
     gate-source/gate-drain capacitances of CNFETs with positive tube
     length. *)
 
-val assemble :
-  compiled ->
-  eval_wave:(Waveform.t -> float) ->
-  cap:cap_policy ->
-  ?ind:ind_policy ->
-  gmin:float ->
-  float array ->
-  Linalg.mat * float array
-(** Linearised MNA system [J x = b] at the given candidate solution. *)
-
 val newton :
   ?gmin:float ->
   ?tol:float ->
@@ -81,10 +113,12 @@ val newton :
   ?max_step:float ->
   ?ind:ind_policy ->
   compiled ->
-  eval_wave:(Waveform.t -> float) ->
+  eval_wave:(string -> Waveform.t -> float) ->
   cap:cap_policy ->
   float array ->
   float array
-(** Damped Newton iteration from a starting guess.  Raises
-    {!No_convergence} when the iteration budget is exhausted or the
-    matrix is singular. *)
+(** Damped Newton iteration from a starting guess.  [eval_wave] is
+    called with each independent source's element name and waveform —
+    the name lets a sweep override one source without recompiling.
+    Raises {!No_convergence} when the iteration budget is exhausted or
+    the matrix is singular. *)

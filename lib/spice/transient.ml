@@ -69,21 +69,22 @@ let branch_currents caps comps x =
       (comps.(k).Mna.geq *. vab) +. comps.(k).Mna.ieq)
     caps
 
-let run ?(method_ = Trapezoidal) ?(gmin = 1e-12) ?(max_newton = 100)
+let run ?(method_ = Trapezoidal) ?(gmin = 1e-12) ?(max_newton = 100) ?backend
     ?initial_condition circuit ~tstep ~tstop =
   if tstep <= 0.0 || tstop <= 0.0 || tstep > tstop then
     raise (Analysis_error "transient: need 0 < tstep <= tstop");
-  let compiled = Mna.compile circuit in
+  let compiled = Mna.compile ?backend circuit in
   let caps = Mna.capacitors compiled in
   let inds = Mna.inductors compiled in
-  (* start from the DC operating point at t = 0 unless overridden *)
+  (* start from the DC operating point at t = 0 unless overridden; the
+     DC solve shares this circuit's solver workspace and telemetry *)
   let x0 =
     match initial_condition with
     | Some x ->
         if Array.length x <> Mna.size compiled then
           raise (Analysis_error "transient: initial condition size mismatch");
         Array.copy x
-    | None -> (Dc.operating_point ~gmin circuit).Dc.solution
+    | None -> Dc.solve_compiled ~gmin compiled
   in
   let times = ref [ 0.0 ] and solutions = ref [ x0 ] in
   let i_prev = ref (Array.make (Array.length caps) 0.0) in
@@ -98,7 +99,7 @@ let run ?(method_ = Trapezoidal) ?(gmin = 1e-12) ?(max_newton = 100)
     let icomps = ind_companions method_ inds h_now !x_prev in
     match
       Mna.newton ~gmin ~max_iter:max_newton compiled
-        ~eval_wave:(fun w -> Waveform.eval w t_next)
+        ~eval_wave:(fun _name w -> Waveform.eval w t_next)
         ~cap:(Mna.Companions comps)
         ~ind:(Mna.Ind_companions icomps) (Array.copy !x_prev)
     with
@@ -123,6 +124,8 @@ let run ?(method_ = Trapezoidal) ?(gmin = 1e-12) ?(max_newton = 100)
     times = Array.of_list (List.rev !times);
     solutions = Array.of_list (List.rev !solutions);
   }
+
+let stats r = Mna.stats r.compiled
 
 let voltage r name =
   let id = Mna.node_id r.compiled name in

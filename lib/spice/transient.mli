@@ -18,6 +18,7 @@ val run :
   ?method_:method_ ->
   ?gmin:float ->
   ?max_newton:int ->
+  ?backend:Cnt_numerics.Linear_solver.backend ->
   ?initial_condition:float array ->
   Circuit.t ->
   tstep:float ->
@@ -25,7 +26,11 @@ val run :
   result
 (** Integrate from the DC operating point (or a supplied initial
     condition) to [tstop] with nominal step [tstep] (trapezoidal by
-    default). *)
+    default).  [backend] selects the linear solver ([Auto] default). *)
+
+val stats : result -> Mna.stats
+(** Solver telemetry accumulated across the whole run, including the
+    DC start point. *)
 
 val voltage : result -> string -> float array
 (** Waveform of a node voltage across the stored time points. *)

@@ -806,6 +806,155 @@ let test_complex_pivoting () =
   check_close ~eps:1e-12 "x0" 2.0 x.(0).Complex.re;
   check_close ~eps:1e-12 "x1" 3.0 x.(1).Complex.re
 
+(* ------------------------------------------------------------------ *)
+(* Sparse matrices and the pluggable solver backends                   *)
+(* ------------------------------------------------------------------ *)
+
+let sparse_of_dense rows =
+  let n = Array.length rows in
+  let b = Sparse.Builder.create n in
+  Array.iteri
+    (fun i row ->
+      Array.iteri (fun j v -> if v <> 0.0 then Sparse.Builder.add b i j) row)
+    rows;
+  let m = Sparse.Builder.finalize b in
+  Array.iteri
+    (fun i row -> Array.iteri (fun j v -> if v <> 0.0 then Sparse.add_to m i j v) row)
+    rows;
+  m
+
+let test_sparse_solve_known () =
+  (* needs a pivot: zero in the (0,0) position *)
+  let rows = [| [| 0.0; 2.0; 0.0 |]; [| 1.0; 0.0; 1.0 |]; [| 0.0; 1.0; 3.0 |] |] in
+  let m = sparse_of_dense rows in
+  Alcotest.(check int) "nnz" 5 (Sparse.nnz m);
+  let x = Sparse.solve m [| 2.0; 5.0; 10.0 |] in
+  let expected = Linalg.solve (Linalg.Mat.of_arrays rows) [| 2.0; 5.0; 10.0 |] in
+  Array.iteri (fun i v -> check_close ~eps:1e-12 (Printf.sprintf "x%d" i) expected.(i) v) x
+
+(* random sparse diagonally-dominant system, same answer as dense LU *)
+let random_system rng n =
+  let rows = Array.init n (fun _ -> Array.make n 0.0) in
+  for i = 0 to n - 1 do
+    for _ = 1 to 4 do
+      let j = int_of_float (Prng.uniform rng *. float_of_int n) mod n in
+      rows.(i).(j) <- rows.(i).(j) +. Prng.uniform_range rng ~lo:(-1.0) ~hi:1.0
+    done;
+    (* strict diagonal dominance keeps every instance well conditioned *)
+    let off = Array.fold_left (fun acc v -> acc +. Float.abs v) 0.0 rows.(i) in
+    rows.(i).(i) <- rows.(i).(i) +. off +. 1.0
+  done;
+  rows
+
+let test_sparse_matches_dense_random () =
+  let rng = Prng.create ~seed:42L () in
+  for trial = 1 to 10 do
+    let n = 10 + (trial * 7) in
+    let rows = random_system rng n in
+    let b = Array.init n (fun _ -> Prng.uniform_range rng ~lo:(-5.0) ~hi:5.0) in
+    let x_dense = Linalg.solve (Linalg.Mat.of_arrays rows) b in
+    let x_sparse = Sparse.solve (sparse_of_dense rows) b in
+    Array.iteri
+      (fun i v ->
+        check_close ~eps:1e-9 (Printf.sprintf "trial %d x%d" trial i) x_dense.(i) v)
+      x_sparse
+  done
+
+let test_sparse_refill_in_place () =
+  (* one structure, two numeric problems: the workspace is reused *)
+  let rows = [| [| 4.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let m = sparse_of_dense rows in
+  let lu = Sparse.lu_create m in
+  Sparse.refactor lu m;
+  let x1 = Sparse.lu_solve lu [| 5.0; 4.0 |] in
+  check_close ~eps:1e-12 "first x0" 1.0 x1.(0);
+  check_close ~eps:1e-12 "first x1" 1.0 x1.(1);
+  Sparse.clear m;
+  let s00 = Sparse.slot m 0 0 in
+  Sparse.add_slot m s00 2.0;
+  Sparse.add_to m 0 1 0.0;
+  Sparse.add_to m 1 0 0.0;
+  Sparse.add_to m 1 1 5.0;
+  Sparse.refactor lu m;
+  let x2 = Sparse.lu_solve lu [| 4.0; 10.0 |] in
+  check_close ~eps:1e-12 "second x0" 2.0 x2.(0);
+  check_close ~eps:1e-12 "second x1" 2.0 x2.(1)
+
+let test_sparse_singular () =
+  (* numerically singular: two proportional rows *)
+  let m = sparse_of_dense [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.(check bool) "numerically singular" true
+    (match Sparse.solve m [| 1.0; 2.0 |] with
+    | exception Sparse.Singular _ -> true
+    | _ -> false);
+  (* structurally singular: an empty row *)
+  let b = Sparse.Builder.create 2 in
+  Sparse.Builder.add b 0 0;
+  let m = Sparse.Builder.finalize b in
+  Sparse.add_to m 0 0 1.0;
+  Alcotest.(check bool) "structurally singular" true
+    (match Sparse.solve m [| 1.0; 1.0 |] with
+    | exception Sparse.Singular _ -> true
+    | _ -> false)
+
+let test_sparse_pattern_frozen () =
+  let m = sparse_of_dense [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  Alcotest.(check bool) "outside pattern rejected" true
+    (match Sparse.add_to m 0 1 1.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_close ~eps:0.0 "get outside pattern" 0.0 (Sparse.get m 1 0)
+
+let test_sparse_mul_vec_residual () =
+  let rows = [| [| 1.0; 2.0; 0.0 |]; [| 0.0; 3.0; 4.0 |]; [| 5.0; 0.0; 6.0 |] |] in
+  let m = sparse_of_dense rows in
+  let y = Sparse.mul_vec m [| 1.0; 1.0; 1.0 |] in
+  check_close "y0" 3.0 y.(0);
+  check_close "y1" 7.0 y.(1);
+  check_close "y2" 11.0 y.(2);
+  check_close ~eps:1e-12 "residual zero" 0.0
+    (Sparse.residual_inf m [| 1.0; 1.0; 1.0 |] y);
+  y.(1) <- y.(1) +. 0.5;
+  check_close ~eps:1e-12 "residual perturbed" 0.5
+    (Sparse.residual_inf m [| 1.0; 1.0; 1.0 |] y)
+
+let test_backend_instances_agree () =
+  let rng = Prng.create ~seed:7L () in
+  let n = 30 in
+  let rows = random_system rng n in
+  let pattern =
+    Array.of_list
+      (List.concat
+         (List.init n (fun i ->
+              List.filteri (fun j _ -> rows.(i).(j) <> 0.0)
+                (List.init n (fun j -> (i, j)))
+              |> List.map (fun (_, j) -> (i, j)))))
+  in
+  let fill (inst : Linear_solver.instance) =
+    inst.clear ();
+    Array.iteri
+      (fun i row -> Array.iteri (fun j v -> if v <> 0.0 then inst.add_to i j v) row)
+      rows
+  in
+  let b = Array.init n (fun i -> float_of_int (i + 1)) in
+  let dense = Linear_solver.make Linear_solver.Dense_backend n pattern in
+  let sparse = Linear_solver.make Linear_solver.Sparse_backend n pattern in
+  Alcotest.(check string) "dense name" "dense" dense.Linear_solver.backend_name;
+  Alcotest.(check string) "sparse name" "sparse" sparse.Linear_solver.backend_name;
+  fill dense;
+  fill sparse;
+  let xd = dense.Linear_solver.solve b and xs = sparse.Linear_solver.solve b in
+  Array.iteri (fun i v -> check_close ~eps:1e-9 (Printf.sprintf "x%d" i) xd.(i) v) xs
+
+let test_backend_auto_selection () =
+  let small = Linear_solver.make Linear_solver.Auto 4 [| (0, 0) |] in
+  let big =
+    Linear_solver.make Linear_solver.Auto Linear_solver.auto_threshold [| (0, 0) |]
+  in
+  Alcotest.(check string) "small is dense" "dense" small.Linear_solver.backend_name;
+  Alcotest.(check string) "at threshold is sparse" "sparse"
+    big.Linear_solver.backend_name
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "cnt_numerics"
@@ -883,6 +1032,17 @@ let () =
           tc "vector operations" test_vec_ops;
           tc "identity multiplication" test_mat_mul_identity;
           tc "dimension checks" test_dimension_mismatch;
+        ] );
+      ( "sparse",
+        [
+          tc "solve with pivoting" test_sparse_solve_known;
+          tc "matches dense on random systems" test_sparse_matches_dense_random;
+          tc "refill in place" test_sparse_refill_in_place;
+          tc "singular detection" test_sparse_singular;
+          tc "pattern frozen after finalize" test_sparse_pattern_frozen;
+          tc "mul_vec and residual" test_sparse_mul_vec_residual;
+          tc "dense and sparse backends agree" test_backend_instances_agree;
+          tc "auto backend selection" test_backend_auto_selection;
         ] );
       ( "fit",
         [

@@ -1049,6 +1049,160 @@ let test_characterize_detects_stuck_cell () =
     | exception Characterize.Characterisation_error _ -> true
     | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Linear-solver backends: dense/sparse agreement and telemetry        *)
+(* ------------------------------------------------------------------ *)
+
+let check_agree msg a b =
+  Alcotest.(check int) (msg ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i va ->
+      let vb = b.(i) in
+      if Float.abs (va -. vb) > 1e-9 *. Float.max 1.0 (Float.abs va) then
+        Alcotest.failf "%s: index %d: %.15g (dense) vs %.15g (sparse)" msg i va vb)
+    a
+
+let inverter_circuit vin =
+  Circuit.create
+    [
+      Circuit.vdc "vdd" "vdd" "0" 0.6;
+      Circuit.vdc "vin" "in" "0" vin;
+      Circuit.cnfet "mn" ~drain:"out" ~gate:"in" ~source:"0" (Lazy.force n_model);
+      Circuit.cnfet "mp" ~drain:"out" ~gate:"in" ~source:"vdd" (Lazy.force p_model);
+    ]
+
+(* A 1 V source driving [n] series resistors to ground: n + 1 unknowns,
+   known solution, any size we like. *)
+let ladder_circuit n =
+  let node i = if i = 0 then "in" else if i = n then "0" else Printf.sprintf "n%d" i in
+  let rs =
+    List.init n (fun i ->
+        Circuit.resistor (Printf.sprintf "r%d" (i + 1)) (node i) (node (i + 1)) 1000.0)
+  in
+  Circuit.create (Circuit.vdc "v1" "in" "0" 1.0 :: rs)
+
+let test_solver_backends_agree_op () =
+  let circuits =
+    [
+      ( "divider",
+        Circuit.create
+          [
+            Circuit.vdc "v1" "in" "0" 9.0;
+            Circuit.resistor "r1" "in" "out" 2000.0;
+            Circuit.resistor "r2" "out" "0" 1000.0;
+          ] );
+      ( "cnfet with drain resistor",
+        Circuit.create
+          [
+            Circuit.vdc "vdd" "vdd" "0" 0.6;
+            Circuit.vdc "vg" "g" "0" 0.5;
+            Circuit.resistor "rl" "vdd" "d" 50e3;
+            Circuit.cnfet "m1" ~drain:"d" ~gate:"g" ~source:"0" (Lazy.force n_model);
+          ] );
+      ("inverter mid-rail", inverter_circuit 0.3);
+      ("ladder 40", ladder_circuit 40);
+      ( "rlc",
+        Circuit.create
+          [
+            Circuit.vsource "vs" "in" "0" (Waveform.dc 1.0);
+            Circuit.resistor "r1" "in" "a" 100.0;
+            Circuit.inductor "l1" "a" "b" 1e-3;
+            Circuit.capacitor "c1" "b" "0" 1e-9;
+          ] );
+    ]
+  in
+  List.iter
+    (fun (label, c) ->
+      let d = Dc.operating_point ~backend:Linear_solver.Dense_backend c in
+      let s = Dc.operating_point ~backend:Linear_solver.Sparse_backend c in
+      check_agree label d.Dc.solution s.Dc.solution)
+    circuits
+
+let test_solver_backends_agree_sweep () =
+  let c = inverter_circuit 0.0 in
+  let run backend = Dc.sweep ~backend c ~source:"vin" ~start:0.0 ~stop:0.6 ~step:0.05 in
+  let d = run Linear_solver.Dense_backend in
+  let s = run Linear_solver.Sparse_backend in
+  check_agree "sweep values" d.Dc.sweep_values s.Dc.sweep_values;
+  check_agree "vtc" (Dc.sweep_voltage d "out") (Dc.sweep_voltage s "out")
+
+let test_solver_backends_agree_transient () =
+  let run backend = Transient.run ~backend (rc_circuit ()) ~tstep:10e-6 ~tstop:1e-3 in
+  let d = run Linear_solver.Dense_backend in
+  let s = run Linear_solver.Sparse_backend in
+  check_agree "times" d.Transient.times s.Transient.times;
+  check_agree "v(out)" (Transient.voltage d "out") (Transient.voltage s "out")
+
+let test_solver_auto_threshold () =
+  (* small system stays dense, 25+ unknowns switches to sparse *)
+  let small = Dc.operating_point (ladder_circuit 4) in
+  Alcotest.(check string) "small is dense" "dense" (Dc.stats small).Mna.backend;
+  let big = Dc.operating_point (ladder_circuit 40) in
+  Alcotest.(check string) "big is sparse" "sparse" (Dc.stats big).Mna.backend;
+  let forced =
+    Dc.operating_point ~backend:Linear_solver.Dense_backend (ladder_circuit 40)
+  in
+  Alcotest.(check string) "dense selectable" "dense" (Dc.stats forced).Mna.backend
+
+let test_solver_stats_populated () =
+  let r = Dc.operating_point (inverter_circuit 0.3) in
+  let st = Dc.stats r in
+  Alcotest.(check bool) "newton ran" true (st.Mna.newton_iterations > 0);
+  Alcotest.(check int) "one solve per iteration" st.Mna.newton_iterations
+    st.Mna.linear_solves;
+  (* two CNFETs evaluated once per iteration *)
+  Alcotest.(check int) "device evals" (2 * st.Mna.newton_iterations)
+    st.Mna.device_evals;
+  Alcotest.(check bool) "unknowns" true (st.Mna.unknowns = 3 + 2);
+  Alcotest.(check bool) "nonzeros positive" true (st.Mna.nonzeros > 0);
+  Alcotest.(check bool) "residual small" true
+    (Float.abs st.Mna.residual < 1e-6);
+  let lin = Dc.operating_point (ladder_circuit 4) in
+  Alcotest.(check int) "no device evals in linear circuit" 0
+    (Dc.stats lin).Mna.device_evals
+
+let test_sweep_guards () =
+  let c = ladder_circuit 2 in
+  let bad ~start ~stop ~step =
+    match Dc.sweep c ~source:"v1" ~start ~stop ~step with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "zero step rejected" true (bad ~start:0.0 ~stop:1.0 ~step:0.0);
+  Alcotest.(check bool) "negative step rejected" true
+    (bad ~start:0.0 ~stop:1.0 ~step:(-0.1));
+  Alcotest.(check bool) "reversed range rejected" true
+    (bad ~start:1.0 ~stop:0.0 ~step:0.1);
+  Alcotest.(check bool) "nan step rejected" true
+    (bad ~start:0.0 ~stop:1.0 ~step:Float.nan);
+  (* a step that does not divide the span truncates instead of
+     overshooting stop *)
+  let s = Dc.sweep c ~source:"v1" ~start:0.0 ~stop:1.0 ~step:0.4 in
+  Alcotest.(check int) "truncated point count" 3 (Array.length s.Dc.sweep_values);
+  check_close ~eps:1e-12 "last point" 0.8 s.Dc.sweep_values.(2);
+  (* an exactly-dividing step includes the stop value *)
+  let s = Dc.sweep c ~source:"v1" ~start:0.0 ~stop:1.0 ~step:0.25 in
+  Alcotest.(check int) "inclusive point count" 5 (Array.length s.Dc.sweep_values);
+  (* a single-point sweep is fine *)
+  let s = Dc.sweep c ~source:"v1" ~start:0.5 ~stop:0.5 ~step:0.1 in
+  Alcotest.(check int) "degenerate sweep" 1 (Array.length s.Dc.sweep_values)
+
+let test_solver_singular_circuit () =
+  (* two ideal sources in parallel force conflicting branch equations:
+     the MNA matrix is singular and Newton reports it *)
+  let c =
+    Circuit.create
+      [
+        Circuit.vdc "v1" "a" "0" 1.0;
+        Circuit.vdc "v2" "a" "0" 2.0;
+        Circuit.resistor "r1" "a" "0" 1000.0;
+      ]
+  in
+  Alcotest.(check bool) "no convergence on singular system" true
+    (match Dc.operating_point c with
+    | exception Mna.No_convergence _ -> true
+    | _ -> false)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "cnt_spice"
@@ -1162,6 +1316,16 @@ let () =
           tc "cnfet round trip via model card" test_netlist_roundtrip_cnfet;
           tc "model_dir required" test_netlist_requires_model_dir;
           tc "waveform text round trip" test_waveform_text_roundtrip;
+        ] );
+      ( "solver",
+        [
+          tc "backends agree at op" test_solver_backends_agree_op;
+          tc "backends agree on sweep" test_solver_backends_agree_sweep;
+          tc "backends agree on transient" test_solver_backends_agree_transient;
+          tc "auto threshold" test_solver_auto_threshold;
+          tc "stats populated" test_solver_stats_populated;
+          tc "sweep guards" test_sweep_guards;
+          tc "singular circuit" test_solver_singular_circuit;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
