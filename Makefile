@@ -1,0 +1,31 @@
+# Convenience targets; dune is the real build system.
+
+.PHONY: all build test check bench obs-smoke obs-bench repro clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The gate CI runs: full build plus every test suite.
+check:
+	dune build @all
+	dune runtest
+
+# Quick telemetry-overhead smoke run (2 repeats; prints JSON to stdout).
+obs-smoke:
+	@dune exec bench/main.exe -- obs-overhead --smoke
+
+# Full telemetry-overhead benchmark; refreshes the committed artefact.
+obs-bench:
+	dune exec bench/main.exe -- obs-overhead > results/BENCH_obs.json
+	@tail -n +2 results/BENCH_obs.json | head -n 4
+
+repro:
+	dune exec bin/repro.exe -- all
+
+clean:
+	dune clean

@@ -240,6 +240,111 @@ let scaling_group =
            ])
        (Lazy.force ring_circuits))
 
+(* Telemetry overhead: the same workload with the obs registry off
+   (the default) and on.  The disabled numbers guard the "< 5 %
+   slowdown when off" budget; the enabled run also shows what full
+   span/counter collection costs.  `main obs-overhead` runs the same
+   comparison standalone with wall-clock timing and JSON output
+   (committed as results/BENCH_obs.json). *)
+let obs_workloads =
+  let open Cnt_spice in
+  let p_model = lazy (Cnt_model.model2 ~polarity:Cnt_model.P_type ()) in
+  let inverter () =
+    Circuit.create
+      [
+        Circuit.vdc "vdd" "vdd" "0" 0.6;
+        Circuit.vdc "vin" "in" "0" 0.0;
+        Circuit.cnfet "mn" ~drain:"out" ~gate:"in" ~source:"0" model2;
+        Circuit.cnfet "mp" ~drain:"out" ~gate:"in" ~source:"vdd"
+          (Lazy.force p_model);
+      ]
+  in
+  [
+    ( "model2_family_7x61",
+      fun () ->
+        ignore (Cnt_model.output_family model2 ~vgs_list:family_vgs ~vds_points)
+    );
+    ( "inverter_vtc_13pt",
+      fun () ->
+        ignore
+          (Dc.sweep (inverter ()) ~source:"vin" ~start:0.0 ~stop:0.6 ~step:0.05)
+    );
+    ( "ring5_tran_20ps",
+      fun () ->
+        let _, circuit = List.hd (Lazy.force ring_circuits) in
+        ignore
+          (Cnt_spice.Transient.run ~backend:Cnt_numerics.Linear_solver.Auto
+             circuit ~tstep:1e-12 ~tstop:2e-11) );
+  ]
+
+let obs_overhead_group =
+  let open Cnt_obs in
+  Test.make_grouped ~name:"obs_overhead"
+    (List.concat_map
+       (fun (name, work) ->
+         [
+           Test.make ~name:(name ^ "_off")
+             (stage_unit (fun () ->
+                  Obs.disable ();
+                  work ()));
+           Test.make ~name:(name ^ "_on")
+             (stage_unit (fun () ->
+                  Obs.reset ();
+                  Obs.enable ();
+                  work ();
+                  Obs.disable ()));
+         ])
+       obs_workloads)
+
+(* Standalone overhead run: best-of-N wall clock per workload with the
+   registry off and on, plus the enabled run's per-phase span totals
+   and counters, as JSON on stdout. *)
+let obs_overhead_json ~repeats =
+  let open Cnt_obs in
+  let best f =
+    let b = ref infinity in
+    for _ = 1 to 1 + repeats do
+      (* first run warms caches and is discarded on ties *)
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !b then b := dt
+    done;
+    !b
+  in
+  Obs.disable ();
+  let entries =
+    List.map
+      (fun (name, work) ->
+        let off_s = best work in
+        Obs.reset ();
+        Obs.enable ();
+        let on_s =
+          best (fun () ->
+              Obs.reset ();
+              work ())
+        in
+        let phases = Report.phases_json () in
+        Obs.disable ();
+        Printf.sprintf
+          "    {\"workload\": \"%s\", \"disabled_s\": %.6g, \"enabled_s\": \
+           %.6g, \"overhead_pct\": %.2f,\n     \"enabled_phases\": %s}"
+          name off_s on_s
+          (100.0 *. ((on_s /. off_s) -. 1.0))
+          phases)
+      obs_workloads
+  in
+  print_string "{\n";
+  print_string "  \"benchmark\": \"telemetry_overhead\",\n";
+  Printf.printf "  \"repeats\": %d,\n" repeats;
+  print_string "  \"time_metric\": \"best_wall_clock_s\",\n";
+  print_string
+    "  \"note\": \"disabled is the default mode; its cost vs pre-telemetry \
+     code is one branch per instrument call\",\n";
+  print_string "  \"results\": [\n";
+  print_string (String.concat ",\n" entries);
+  print_string "\n  ]\n}\n"
+
 (* Standalone scaling run with wall-clock timing, as JSON on stdout. *)
 let scaling_json () =
   let open Cnt_numerics in
@@ -291,7 +396,7 @@ let all_tests =
   Test.make_grouped ~name:"cntsim"
     [
       table1; table2; table3; table4; table5; fig23; fig45; fig69; fig1011;
-      ablation; spice_group; scaling_group;
+      ablation; spice_group; scaling_group; obs_overhead_group;
     ]
 
 let benchmark () =
@@ -311,6 +416,11 @@ let benchmark () =
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "scaling-json" then begin
     scaling_json ();
+    exit 0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "obs-overhead" then begin
+    let smoke = Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke" in
+    obs_overhead_json ~repeats:(if smoke then 2 else 10);
     exit 0
   end;
   List.iter

@@ -30,7 +30,8 @@ let eval_model which device ~optimise =
       fun ~vgs ~vds -> Table_model.ids m ~vgs ~vds
 
 let run which temp fermi diameter tox vgs_csv vds_max points format optimise
-    compare =
+    compare profile =
+  if profile then Cnt_obs.Obs.enable ();
   let device =
     Device.create ~temp ~fermi ~diameter:(diameter *. 1e-9)
       ~oxide_thickness:(tox *. 1e-9) ()
@@ -80,6 +81,10 @@ let run which temp fermi diameter tox vgs_csv vds_max points format optimise
       in
       Cnt_experiments.Ascii_plot.print ~title:"IDS vs VDS" ss
   | other -> failwith (Printf.sprintf "unknown format %S (csv|ascii)" other));
+  if profile then begin
+    print_newline ();
+    print_string (Cnt_obs.Report.render_profile ())
+  end;
   0
 
 let which_arg =
@@ -125,6 +130,10 @@ let compare_arg =
   let doc = "Also print the RMS error of each curve against the reference model." in
   Arg.(value & flag & info [ "compare" ] ~doc)
 
+let profile_arg =
+  let doc = "Enable telemetry and print a profile report after the run." in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let cmd =
   let doc = "print ballistic CNFET output characteristics" in
   Cmd.v
@@ -132,6 +141,6 @@ let cmd =
     Term.(
       const run $ which_arg $ temp_arg $ fermi_arg $ diameter_arg $ tox_arg
       $ vgs_arg $ vds_max_arg $ points_arg $ format_arg $ optimise_arg
-      $ compare_arg)
+      $ compare_arg $ profile_arg)
 
 let () = exit (Cmd.eval' cmd)

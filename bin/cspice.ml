@@ -2,11 +2,41 @@
 
      cspice inverter.cir
      cspice --csv results/ inverter.cir
-     cspice --stats --solver sparse ring.cir *)
+     cspice --stats --solver sparse ring.cir
+     cspice --profile ring.cir
+     cspice --trace out.json ring.cir   # load in chrome://tracing *)
 
 open Cmdliner
 
-let run csv_dir max_rows stats solver path =
+(* Latency distributions of the busiest span positions, rendered as
+   ASCII histograms under the profile tree. *)
+let print_latency_histograms () =
+  let candidates =
+    Cnt_obs.Report.span_durations ()
+    |> List.filter (fun (_, ds) -> Array.length ds >= 8)
+    |> List.map (fun (path, ds) -> (Array.fold_left ( +. ) 0.0 ds, path, ds))
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare b a)
+  in
+  List.iteri
+    (fun i (total, path, ds) ->
+      if i < 4 then begin
+        let us = Array.map (fun d -> d *. 1e6) ds in
+        print_newline ();
+        Cnt_experiments.Ascii_plot.print_histogram
+          ~title:
+            (Printf.sprintf "%s latency (us; %d spans, %.3g s total)" path
+               (Array.length ds) total)
+          us
+      end)
+    candidates
+
+let print_profile () =
+  print_newline ();
+  print_string (Cnt_obs.Report.render_profile ());
+  print_latency_histograms ()
+
+let run csv_dir max_rows stats profile trace solver path =
+  if profile || trace <> None then Cnt_obs.Obs.enable ();
   let text =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -37,6 +67,12 @@ let run csv_dir max_rows stats solver path =
               close_out oc;
               Printf.printf "saved %s\n" out)
         tables;
+      if profile then print_profile ();
+      (match trace with
+      | None -> ()
+      | Some out ->
+          Cnt_obs.Trace.write out;
+          Printf.printf "wrote Chrome trace %s (load in chrome://tracing)\n" out);
       0
 
 let csv_arg =
@@ -50,6 +86,20 @@ let rows_arg =
 let stats_arg =
   let doc = "Print a solver-statistics footer after each table." in
   Arg.(value & flag & info [ "stats" ] ~doc)
+
+let profile_arg =
+  let doc =
+    "Enable telemetry and print the nested span tree, counters, histogram \
+     summaries and latency distributions after the run."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Enable telemetry and write a Chrome trace-event JSON file to $(docv) \
+     (loadable in chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 let solver_arg =
   let doc =
@@ -74,6 +124,8 @@ let path_arg =
 let cmd =
   let doc = "SPICE-like circuit simulator with ballistic CNFET devices" in
   Cmd.v (Cmd.info "cspice" ~doc)
-    Term.(const run $ csv_arg $ rows_arg $ stats_arg $ solver_arg $ path_arg)
+    Term.(
+      const run $ csv_arg $ rows_arg $ stats_arg $ profile_arg $ trace_arg
+      $ solver_arg $ path_arg)
 
 let () = exit (Cmd.eval' cmd)

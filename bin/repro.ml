@@ -6,12 +6,13 @@
 
 open Cmdliner
 
-let run_repro list_only quiet dir ids =
+let run_repro list_only quiet profile dir ids =
   if list_only then begin
     List.iter print_endline Cnt_experiments.Repro.experiment_ids;
     0
   end
   else begin
+    if profile then Cnt_obs.Obs.enable ();
     let ids =
       match ids with
       | [] | [ "all" ] -> Cnt_experiments.Repro.experiment_ids
@@ -25,6 +26,10 @@ let run_repro list_only quiet dir ids =
           (fun (artefact, path) ->
             Printf.printf "saved %s -> %s\n" artefact.Cnt_experiments.Repro.name path)
           results;
+        if profile then begin
+          print_newline ();
+          print_string (Cnt_obs.Report.render_profile ())
+        end;
         0
     | exception Invalid_argument msg ->
         prerr_endline ("error: " ^ msg);
@@ -43,6 +48,10 @@ let quiet_arg =
   let doc = "Do not print renderings; only save CSVs." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
+let profile_arg =
+  let doc = "Enable telemetry and print a profile report after the run." in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let dir_arg =
   let doc = "Directory for the CSV artefacts." in
   Arg.(value & opt string "results" & info [ "dir" ] ~docv:"DIR" ~doc)
@@ -51,6 +60,6 @@ let cmd =
   let doc = "regenerate the tables and figures of the CNT piecewise-model paper" in
   Cmd.v
     (Cmd.info "repro" ~doc)
-    Term.(const run_repro $ list_arg $ quiet_arg $ dir_arg $ ids_arg)
+    Term.(const run_repro $ list_arg $ quiet_arg $ profile_arg $ dir_arg $ ids_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -9,6 +9,10 @@
 
 open Cnt_numerics
 open Cnt_physics
+module Obs = Cnt_obs.Obs
+
+let c_ids_evals = Obs.counter "cnt_model.ids_evals"
+let c_fits = Obs.counter "cnt_model.fits"
 
 type polarity =
   | N_type
@@ -26,6 +30,8 @@ type t = {
 
 let make ?(polarity = N_type) ?(spec = Charge_fit.model2_spec)
     ?(optimise = false) ?theory device =
+  Obs.span "cnt_model.make" @@ fun () ->
+  Obs.incr c_fits;
   let profile = Device.charge_profile device in
   let spec, fit =
     if optimise then begin
@@ -121,6 +127,7 @@ let solve_stats t ~vgs ~vds =
 (* Drain current from a solved V_SC (paper eq. 14); sign follows the
    device polarity. *)
 let ids t ~vgs ~vds =
+  Obs.incr c_ids_evals;
   let ovgs, ovds = oriented t ~vgs ~vds in
   let qt = Device.terminal_charge t.device ~vgs:ovgs ~vds:ovds in
   let vsc = Scv_solver.solve t.solver ~qt ~vds:ovds in

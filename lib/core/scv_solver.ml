@@ -15,11 +15,21 @@
    and no numerical integration, which is the paper's entire point. *)
 
 open Cnt_numerics
+module Obs = Cnt_obs.Obs
 
 type t = {
   qs : Piecewise.t; (* source charge vs V_SC, C/m *)
   c_sigma : float; (* F/m *)
 }
+
+(* Closed-form root evaluations by piece degree, plus the defensive
+   bisection rescues — the per-branch cost profile behind the paper's
+   no-Newton claim. *)
+let c_solves = Obs.counter "scv.solves"
+let c_linear = Obs.counter "scv.root_linear"
+let c_quadratic = Obs.counter "scv.root_quadratic"
+let c_cubic = Obs.counter "scv.root_cardano"
+let c_fallback = Obs.counter "scv.fallback_bisection"
 
 type stats = {
   vsc : float;
@@ -91,6 +101,12 @@ let solve_stats t ~qt ~vds =
   in
   let poly = residual_poly t ~qt ~vds representative in
   let deg = Polynomial.degree poly in
+  Obs.incr c_solves;
+  Obs.incr
+    (match deg with
+    | 3 -> c_cubic
+    | 2 -> c_quadratic
+    | _ -> c_linear);
   let eps = 1e-9 in
   let in_interval r = r >= lo -. eps && r <= hi +. eps in
   let candidates =
@@ -117,6 +133,7 @@ let solve_stats t ~qt ~vds =
   | [] ->
       (* defensive fallback: bisection on a finite cover of the interval;
          not reached for well-formed monotone charge fits *)
+      Obs.incr c_fallback;
       let flo = if Float.is_finite lo then lo else hi -. 10.0 in
       let fhi = if Float.is_finite hi then hi else lo +. 10.0 in
       let r = Rootfind.bisect ~tol:1e-13 (residual t ~qt ~vds) flo fhi in

@@ -77,3 +77,46 @@ let render ?(width = 72) ?(height = 24) ?(title = "") ss =
 
 let print ?width ?height ?title ss =
   print_string (render ?width ?height ?title ss)
+
+(* Horizontal-bar histogram of raw samples: equal-width bins over the
+   data range, one row per bin with the bar scaled to the most
+   populated bin.  Used to render telemetry latency distributions. *)
+let histogram ?(width = 40) ?(bins = 12) ?(title = "") values =
+  if bins < 1 then invalid_arg "Ascii_plot.histogram: bins must be positive";
+  let n = Array.length values in
+  let buf = Buffer.create 512 in
+  if title <> "" then Buffer.add_string buf (title ^ "\n");
+  if n = 0 then begin
+    Buffer.add_string buf "  (no samples)\n";
+    Buffer.contents buf
+  end
+  else begin
+    let lo = Array.fold_left Float.min values.(0) values in
+    let hi = Array.fold_left Float.max values.(0) values in
+    (* a constant sample set still gets one non-degenerate bin *)
+    let lo, hi = if lo = hi then (lo, lo +. Float.max 1e-12 (Float.abs lo *. 1e-9)) else (lo, hi) in
+    let bins = if n = 1 then 1 else bins in
+    let counts = Array.make bins 0 in
+    Array.iter
+      (fun v ->
+        let k =
+          int_of_float (float_of_int bins *. (v -. lo) /. (hi -. lo))
+        in
+        let k = max 0 (min (bins - 1) k) in
+        counts.(k) <- counts.(k) + 1)
+      values;
+    let peak = Array.fold_left max 1 counts in
+    Array.iteri
+      (fun k c ->
+        let b_lo = lo +. (float_of_int k *. (hi -. lo) /. float_of_int bins) in
+        let b_hi = lo +. (float_of_int (k + 1) *. (hi -. lo) /. float_of_int bins) in
+        let bar = c * width / peak in
+        Buffer.add_string buf
+          (Printf.sprintf "  %10.3g .. %10.3g |%-*s %d\n" b_lo b_hi width
+             (String.make bar '#') c))
+      counts;
+    Buffer.contents buf
+  end
+
+let print_histogram ?width ?bins ?title values =
+  print_string (histogram ?width ?bins ?title values)

@@ -12,3 +12,13 @@ val render :
 (** Render series onto a shared canvas with axis extents and a legend. *)
 
 val print : ?width:int -> ?height:int -> ?title:string -> series list -> unit
+
+val histogram :
+  ?width:int -> ?bins:int -> ?title:string -> float array -> string
+(** Horizontal-bar histogram of raw samples: equal-width bins over the
+    data range, bars scaled to the most populated bin.  An empty array
+    renders as ["(no samples)"].  Raises [Invalid_argument] when
+    [bins < 1]. *)
+
+val print_histogram :
+  ?width:int -> ?bins:int -> ?title:string -> float array -> unit

@@ -1,0 +1,271 @@
+(* Engine-wide telemetry: nested wall-clock spans, named counters and
+   value histograms behind one global registry.
+
+   The registry is disabled by default and every recording call starts
+   with a single mutable-bool check, so instrumentation left in hot
+   paths (device evaluations, per-iteration stamping) costs one
+   predictable branch when telemetry is off.  Counters and histograms
+   are interned by name: modules look their instruments up once at
+   module-init time and hold the handle, so the hot path performs no
+   hashing.
+
+   Spans nest through an explicit stack.  A completed span remembers
+   its full path ("parent/child/grandchild"), so reports can aggregate
+   by call position rather than by bare name, and the Chrome-trace
+   exporter can reconstruct the timeline.  The clock is
+   [Unix.gettimeofday] — the same clock the rest of the engine uses;
+   timestamps are only ever consumed as differences or as offsets from
+   the registry epoch, so a wall-clock step mid-run skews a report but
+   cannot crash it. *)
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Instruments                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type counter = {
+  c_name : string;
+  mutable c_value : int;
+}
+
+type histogram = {
+  h_name : string;
+  mutable h_values : float array; (* doubling buffer *)
+  mutable h_len : int;
+  mutable h_sorted : bool; (* first [h_len] cells sorted *)
+}
+
+type event = {
+  ev_path : string; (* "parent/child", aggregation key *)
+  ev_name : string;
+  ev_depth : int;
+  ev_start : float; (* absolute, seconds *)
+  ev_dur : float; (* seconds *)
+  ev_args : (string * float) list;
+}
+
+(* An open span on the stack. *)
+type frame = {
+  f_name : string;
+  f_path : string;
+  f_depth : int;
+  f_start : float;
+  f_args : (string * float) list;
+}
+
+type span_token =
+  | Disabled_span
+  | Open_span of frame
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let enabled_flag = ref false
+let epoch_t = ref (now ())
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 32
+let events_rev : event list ref = ref []
+let n_events = ref 0
+let stack : frame list ref = ref []
+
+let enabled () = !enabled_flag
+
+let enable () =
+  if not !enabled_flag then begin
+    enabled_flag := true;
+    if !epoch_t = 0.0 then epoch_t := now ()
+  end
+
+let disable () = enabled_flag := false
+let epoch () = !epoch_t
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters_tbl;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_len <- 0;
+      h.h_sorted <- true)
+    histograms_tbl;
+  events_rev := [];
+  n_events := 0;
+  stack := [];
+  epoch_t := now ()
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.add counters_tbl name c;
+      c
+
+let incr ?(by = 1) c =
+  if by < 0 then
+    invalid_arg
+      (Printf.sprintf "Obs.incr: negative increment %d on %s" by c.c_name);
+  if !enabled_flag then c.c_value <- c.c_value + by
+
+let value c = c.c_value
+let counter_name c = c.c_name
+
+let counters () =
+  Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counters_tbl []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let histogram name =
+  match Hashtbl.find_opt histograms_tbl name with
+  | Some h -> h
+  | None ->
+      let h =
+        { h_name = name; h_values = Array.make 64 0.0; h_len = 0; h_sorted = true }
+      in
+      Hashtbl.add histograms_tbl name h;
+      h
+
+let observe h v =
+  if !enabled_flag then begin
+    if h.h_len = Array.length h.h_values then begin
+      let bigger = Array.make (2 * h.h_len) 0.0 in
+      Array.blit h.h_values 0 bigger 0 h.h_len;
+      h.h_values <- bigger
+    end;
+    h.h_values.(h.h_len) <- v;
+    h.h_len <- h.h_len + 1;
+    h.h_sorted <- false
+  end
+
+let sort_values h =
+  if not h.h_sorted then begin
+    let live = Array.sub h.h_values 0 h.h_len in
+    Array.sort compare live;
+    Array.blit live 0 h.h_values 0 h.h_len;
+    h.h_sorted <- true
+  end
+
+let histogram_count h = h.h_len
+let histogram_name h = h.h_name
+let histogram_values h = Array.sub h.h_values 0 h.h_len
+
+(* Quantile with linear interpolation between order statistics (the
+   common "type 7" estimator): q = 0 is the minimum, q = 1 the
+   maximum. *)
+let quantile h q =
+  if q < 0.0 || q > 1.0 then
+    invalid_arg (Printf.sprintf "Obs.quantile: q = %g outside [0, 1]" q);
+  if h.h_len = 0 then
+    invalid_arg ("Obs.quantile: empty histogram " ^ h.h_name);
+  sort_values h;
+  let pos = q *. float_of_int (h.h_len - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = min (h.h_len - 1) (lo + 1) in
+  let frac = pos -. float_of_int lo in
+  h.h_values.(lo) +. (frac *. (h.h_values.(hi) -. h.h_values.(lo)))
+
+type hist_summary = {
+  count : int;
+  minimum : float;
+  maximum : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summary h =
+  if h.h_len = 0 then None
+  else begin
+    sort_values h;
+    let sum = ref 0.0 in
+    for i = 0 to h.h_len - 1 do
+      sum := !sum +. h.h_values.(i)
+    done;
+    Some
+      {
+        count = h.h_len;
+        minimum = h.h_values.(0);
+        maximum = h.h_values.(h.h_len - 1);
+        mean = !sum /. float_of_int h.h_len;
+        p50 = quantile h 0.5;
+        p90 = quantile h 0.9;
+        p99 = quantile h 0.99;
+      }
+  end
+
+let histograms () =
+  Hashtbl.fold
+    (fun name h acc ->
+      match summary h with None -> acc | Some s -> (name, s) :: acc)
+    histograms_tbl []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let start_span name =
+  if not !enabled_flag then Disabled_span
+  else begin
+    let path, depth =
+      match !stack with
+      | [] -> (name, 0)
+      | top :: _ -> (top.f_path ^ "/" ^ name, top.f_depth + 1)
+    in
+    let f = { f_name = name; f_path = path; f_depth = depth; f_start = now (); f_args = [] } in
+    stack := f :: !stack;
+    Open_span f
+  end
+
+(* Close [tok] and every span opened after it that was left open (an
+   exception unwound past their end_span calls). *)
+let end_span ?(args = []) tok =
+  match tok with
+  | Disabled_span -> ()
+  | Open_span f ->
+      let t_end = now () in
+      let rec pop = function
+        | [] -> [] (* token not on the stack: reset() ran mid-span; drop *)
+        | top :: rest ->
+            events_rev :=
+              {
+                ev_path = top.f_path;
+                ev_name = top.f_name;
+                ev_depth = top.f_depth;
+                ev_start = top.f_start;
+                ev_dur = t_end -. top.f_start;
+                ev_args = (if top == f then args else top.f_args);
+              }
+              :: !events_rev;
+            Stdlib.incr n_events;
+            if top == f then rest else pop rest
+      in
+      stack := pop !stack
+
+let span ?args name f =
+  if not !enabled_flag then f ()
+  else begin
+    let tok = start_span name in
+    match f () with
+    | v ->
+        end_span ?args tok;
+        v
+    | exception e ->
+        end_span ?args tok;
+        raise e
+  end
+
+let events () = List.rev !events_rev
+let event_count () = !n_events

@@ -1,0 +1,37 @@
+(** Human- and machine-readable views of the telemetry registry. *)
+
+(** One aggregated position in the span tree: spans sharing a nesting
+    path merge; the same name under different parents stays distinct. *)
+type node = {
+  name : string;
+  path : string;  (** nesting path, ["parent/child"] *)
+  total_s : float;
+  self_s : float;  (** total minus children's totals *)
+  count : int;  (** completed spans merged into this node *)
+  children : node list;
+}
+
+val profile_tree : unit -> node list
+(** Aggregate completed spans into a forest of root spans, in first-
+    completion order. *)
+
+val span_durations : unit -> (string * float array) list
+(** Per-path individual span durations (seconds), for latency-
+    distribution rendering. *)
+
+val pp_profile : Format.formatter -> unit -> unit
+(** The nested span tree (total / self / calls) followed by counter
+    values and histogram summaries. *)
+
+val render_profile : unit -> string
+
+val counters_csv : unit -> string
+val histograms_csv : unit -> string
+
+val events_jsonl : unit -> string
+(** One JSON object per completed span (epoch-relative times), newline
+    separated. *)
+
+val phases_json : unit -> string
+(** Span totals and counters as a single JSON object, for benchmark
+    artefacts. *)

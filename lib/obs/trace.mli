@@ -1,0 +1,12 @@
+(** Chrome trace-event export of the telemetry registry.
+
+    Produces the JSON-object form of the trace-event format: every
+    completed span is a complete (["ph":"X"]) event with microsecond
+    timestamps relative to the registry epoch, and every counter a
+    final counter (["ph":"C"]) sample — loadable directly in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+val to_chrome_json : unit -> string
+
+val write : string -> unit
+(** Write {!to_chrome_json} to a file. *)

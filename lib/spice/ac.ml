@@ -4,15 +4,18 @@
    their [ac] magnitude (zero phase). *)
 
 open Cnt_numerics
+module Obs = Cnt_obs.Obs
 
 exception Analysis_error of string
+
+let c_frequencies = Obs.counter "ac.frequencies"
 
 type result = {
   compiled : Mna.compiled;
   op : Dc.op_result; (* the bias point the circuit was linearised at *)
   freqs : float array; (* Hz *)
   solutions : Complex.t array array; (* one phasor vector per frequency *)
-  stats : Mna.stats; (* telemetry of the per-frequency complex solves *)
+  stats : Mna.stats; (* per-frequency complex solves + the DC bias solve *)
 }
 
 let complex x = { Complex.re = x; im = 0.0 }
@@ -99,8 +102,10 @@ let decade_frequencies ~start ~stop ~per_decade =
   Grid.logspace start stop n
 
 let run ?(gmin = 1e-12) circuit ~freqs =
+  Obs.span "ac.run" @@ fun () ->
   if Array.length freqs = 0 then raise (Analysis_error "ac: no frequencies");
   Array.iter (fun f -> if f <= 0.0 then raise (Analysis_error "ac: f <= 0")) freqs;
+  Obs.incr ~by:(Array.length freqs) c_frequencies;
   let op = Dc.operating_point ~gmin circuit in
   let compiled = op.Dc.compiled in
   let n = Mna.size compiled in
@@ -111,20 +116,28 @@ let run ?(gmin = 1e-12) circuit ~freqs =
     Array.map
       (fun f ->
         let t0 = Unix.gettimeofday () in
+        let span_a = Obs.start_span "ac.assemble" in
         let jac, rhs = assemble compiled ~gmin ~x_op:op.Dc.solution f in
+        Obs.end_span span_a;
         let t1 = Unix.gettimeofday () in
         stats.Mna.assemble_s <- stats.Mna.assemble_s +. (t1 -. t0);
+        let span_s = Obs.start_span "ac.solve" in
         let x =
           try Complex_linalg.solve jac rhs
           with Complex_linalg.Singular msg ->
+            Obs.end_span span_s;
             raise
               (Analysis_error (Printf.sprintf "ac: singular system at %g Hz: %s" f msg))
         in
+        Obs.end_span span_s;
         stats.Mna.solve_s <- stats.Mna.solve_s +. (Unix.gettimeofday () -. t1);
         stats.Mna.linear_solves <- stats.Mna.linear_solves + 1;
         x)
       freqs
   in
+  (* fold the operating-point solve into this report so an AC table
+     carries the same telemetry shape as DC and transient ones *)
+  Mna.add_stats ~into:stats (Dc.stats op);
   { compiled; op; freqs; solutions; stats }
 
 (* Node voltage phasor across the sweep. *)

@@ -11,8 +11,9 @@ type result = {
   freqs : float array;  (** Hz *)
   solutions : Complex.t array array;
   stats : Mna.stats;
-      (** telemetry of the per-frequency complex solves (the DC bias
-          solve accumulates into [Dc.stats op] separately) *)
+      (** telemetry of the per-frequency complex solves with the DC
+          bias solve folded in, so AC tables report the same shape as
+          DC and transient ones *)
 }
 
 val decade_frequencies :

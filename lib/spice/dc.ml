@@ -1,6 +1,11 @@
 (* DC analyses: operating point and swept operating points. *)
 
+module Obs = Cnt_obs.Obs
+
 exception Analysis_error of string
+
+let c_sweep_points = Obs.counter "dc.sweep_points"
+let c_source_stepping = Obs.counter "dc.source_stepping_rescues"
 
 type op_result = {
   compiled : Mna.compiled;
@@ -32,6 +37,7 @@ let solve_op ?(gmin = 1e-12) compiled ~eval_wave =
   try solve ~scale:1.0 x0
   with Mna.No_convergence _ ->
     (* source stepping *)
+    Obs.incr c_source_stepping;
     let steps = 20 in
     let x = ref x0 in
     for k = 1 to steps do
@@ -41,6 +47,7 @@ let solve_op ?(gmin = 1e-12) compiled ~eval_wave =
     !x
 
 let operating_point ?(gmin = 1e-12) ?backend circuit =
+  Obs.span "dc.operating_point" @@ fun () ->
   let compiled = Mna.compile ?backend circuit in
   { compiled; solution = solve_op ~gmin compiled ~eval_wave:dc_wave }
 
@@ -70,6 +77,7 @@ let set_vsource circuit name volts =
   Circuit.create elements
 
 type sweep_result = {
+  compiled : Mna.compiled; (* shared by every point *)
   sweep_values : float array;
   points : op_result array;
 }
@@ -95,7 +103,9 @@ let sweep_point_count ~start ~stop ~step =
    structure, slot program and solver workspace are shared by every
    point. *)
 let sweep ?(gmin = 1e-12) ?backend circuit ~source ~start ~stop ~step =
+  Obs.span "dc.sweep" @@ fun () ->
   let n = sweep_point_count ~start ~stop ~step in
+  Obs.incr ~by:n c_sweep_points;
   let source_exists =
     List.exists
       (function
@@ -130,10 +140,10 @@ let sweep ?(gmin = 1e-12) ?backend circuit ~source ~start ~stop ~step =
         r)
       values
   in
-  { sweep_values = values; points }
+  { compiled; sweep_values = values; points }
 
 let sweep_voltage r name = Array.map (fun p -> voltage p name) r.points
 let sweep_current r vname = Array.map (fun p -> current p vname) r.points
 
-let stats r = Mna.stats r.compiled
-let sweep_stats r = if Array.length r.points = 0 then None else Some (stats r.points.(0))
+let stats (r : op_result) = Mna.stats r.compiled
+let sweep_stats (r : sweep_result) = Mna.stats r.compiled

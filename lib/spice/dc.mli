@@ -28,6 +28,7 @@ val set_vsource : Circuit.t -> string -> float -> Circuit.t
     (raises {!Analysis_error} if the source does not exist). *)
 
 type sweep_result = {
+  compiled : Mna.compiled;  (** shared by every point *)
   sweep_values : float array;
   points : op_result array;
 }
@@ -53,6 +54,6 @@ val sweep :
 val sweep_voltage : sweep_result -> string -> float array
 val sweep_current : sweep_result -> string -> float array
 
-val sweep_stats : sweep_result -> Mna.stats option
-(** Telemetry accumulated across all sweep points ([None] for an empty
-    sweep). *)
+val sweep_stats : sweep_result -> Mna.stats
+(** Telemetry accumulated across all sweep points (the compiled
+    circuit is shared, so this is one record). *)

@@ -1,11 +1,13 @@
 (* Run the analyses of a parsed deck and tabulate the requested
    outputs. *)
 
+module Obs = Cnt_obs.Obs
+
 type table = {
   analysis_label : string;
   columns : string array; (* first column is the sweep/time variable *)
   rows : float array array;
-  stats : Mna.stats option; (* solver telemetry for this analysis *)
+  stats : Mna.stats; (* solver telemetry, uniform across analyses *)
 }
 
 let default_prints circuit prints =
@@ -33,6 +35,7 @@ let device_current circuit compiled solution name =
   | None -> invalid_arg (Printf.sprintf "id(%s): no such element" name)
 
 let op_table ?backend circuit prints =
+  Obs.span "analysis.op" @@ fun () ->
   let r = Dc.operating_point ?backend circuit in
   let prints = default_prints circuit prints in
   let columns = Array.of_list (List.map print_label prints) in
@@ -46,9 +49,10 @@ let op_table ?backend circuit prints =
                device_current circuit r.Dc.compiled r.Dc.solution d)
          prints)
   in
-  { analysis_label = "op"; columns; rows = [| row |]; stats = Some (Dc.stats r) }
+  { analysis_label = "op"; columns; rows = [| row |]; stats = Dc.stats r }
 
 let dc_table ?backend circuit prints ~source ~start ~stop ~step =
+  Obs.span "analysis.dc" @@ fun () ->
   let r = Dc.sweep ?backend circuit ~source ~start ~stop ~step in
   let prints = default_prints circuit prints in
   let columns =
@@ -77,6 +81,7 @@ let dc_table ?backend circuit prints ~source ~start ~stop ~step =
   }
 
 let ac_table circuit prints ~per_decade ~fstart ~fstop =
+  Obs.span "analysis.ac" @@ fun () ->
   let freqs = Ac.decade_frequencies ~start:fstart ~stop:fstop ~per_decade in
   let r = Ac.run circuit ~freqs in
   let prints = default_prints circuit prints in
@@ -116,10 +121,11 @@ let ac_table circuit prints ~per_decade ~fstart ~fstop =
     analysis_label = Printf.sprintf "ac dec %d %g %g" per_decade fstart fstop;
     columns;
     rows;
-    stats = Some r.Ac.stats;
+    stats = r.Ac.stats;
   }
 
 let tran_table ?backend circuit prints ~tstep ~tstop =
+  Obs.span "analysis.tran" @@ fun () ->
   let r = Transient.run ?backend circuit ~tstep ~tstop in
   let prints = default_prints circuit prints in
   let columns = Array.of_list ("time" :: List.map print_label prints) in
@@ -143,7 +149,7 @@ let tran_table ?backend circuit prints ~tstep ~tstop =
     analysis_label = Printf.sprintf "tran %g %g" tstep tstop;
     columns;
     rows;
-    stats = Some (Transient.stats r);
+    stats = Transient.stats r;
   }
 
 let run_deck ?backend (deck : Parser.deck) =
@@ -173,11 +179,7 @@ let pp_table ?(max_rows = max_int) ?(stats = false) fmt t =
          (Array.to_list (Array.map (Printf.sprintf "%-14.6g") t.rows.(i))))
   done;
   if shown < n then Format.fprintf fmt "... (%d more rows)@." (n - shown);
-  if stats then begin
-    match t.stats with
-    | Some s -> Format.fprintf fmt "%a@." Mna.pp_stats s
-    | None -> Format.fprintf fmt "(no solver statistics)@."
-  end
+  if stats then Format.fprintf fmt "%a@." Mna.pp_stats t.stats
 
 let table_to_csv t =
   let buf = Buffer.create 1024 in

@@ -5,7 +5,9 @@ type table = {
   analysis_label : string;
   columns : string array;
   rows : float array array;
-  stats : Mna.stats option;  (** solver telemetry for this analysis *)
+  stats : Mna.stats;
+      (** solver telemetry for this analysis; populated uniformly by
+          DC, transient and AC paths *)
 }
 
 val run_deck :

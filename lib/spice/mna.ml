@@ -21,8 +21,17 @@
    current), then one branch equation per source/inductor. *)
 
 open Cnt_numerics
+module Obs = Cnt_obs.Obs
 
 exception No_convergence of string
+
+(* Registry instruments, interned once.  Every recording call below is
+   a single-branch no-op while telemetry is disabled. *)
+let c_newton_iters = Obs.counter "mna.newton_iterations"
+let c_linear_solves = Obs.counter "mna.linear_solves"
+let c_device_evals = Obs.counter "mna.device_evals"
+let h_residual = Obs.histogram "mna.newton_residual"
+let h_iters = Obs.histogram "mna.newton_iters_per_solve"
 
 (* ------------------------------------------------------------------ *)
 (* Solver statistics                                                   *)
@@ -60,6 +69,17 @@ let reset_stats s =
   s.assemble_s <- 0.0;
   s.solve_s <- 0.0;
   s.residual <- 0.0
+
+(* Fold the mutable counters of [src] into [into]; structural fields
+   are left alone.  Used to make an AC report include the DC solve it
+   linearised around. *)
+let add_stats ~into src =
+  into.newton_iterations <- into.newton_iterations + src.newton_iterations;
+  into.linear_solves <- into.linear_solves + src.linear_solves;
+  into.device_evals <- into.device_evals + src.device_evals;
+  into.assemble_s <- into.assemble_s +. src.assemble_s;
+  into.solve_s <- into.solve_s +. src.solve_s;
+  into.residual <- Float.max into.residual src.residual
 
 let pp_stats fmt s =
   Format.fprintf fmt
@@ -266,6 +286,7 @@ let stamp_system ~stats ~devices ~n_nodes ~add_j ~add_b ~eval_wave ~caps ~inds
           let gm = Cnt_core.Cnt_model.gm model ~vgs ~vds in
           let gds = Cnt_core.Cnt_model.gds model ~vgs ~vds in
           stats.device_evals <- stats.device_evals + 1;
+          Obs.incr c_device_evals;
           (* linearised drain current i = ieq + gm*vgs + gds*vds *)
           let ieq = i0 -. (gm *. vgs) -. (gds *. vds) in
           add_j d g gm;
@@ -286,6 +307,7 @@ let stamp_system ~stats ~devices ~n_nodes ~add_j ~add_b ~eval_wave ~caps ~inds
 (* ------------------------------------------------------------------ *)
 
 let compile ?(backend = Linear_solver.Auto) circuit =
+  Obs.span "mna.compile" @@ fun () ->
   let node_of_name = Hashtbl.create 16 in
   let names = Circuit.nodes circuit in
   List.iteri (fun i n -> Hashtbl.add node_of_name n i) names;
@@ -447,37 +469,58 @@ let newton ?(gmin = 1e-12) ?(tol = 1e-9) ?(max_iter = 200) ?(max_step = 0.5)
   let converged = ref false in
   let iter = ref 0 in
   let st = c.stats in
-  while (not !converged) && !iter < max_iter do
-    incr iter;
-    st.newton_iterations <- st.newton_iterations + 1;
-    let t0 = now () in
-    refill c ~eval_wave ~caps ~inds ~gmin x;
-    let t1 = now () in
-    st.assemble_s <- st.assemble_s +. (t1 -. t0);
-    (* Newton residual of the current iterate, before the solve *)
-    st.residual <- c.solver.Linear_solver.residual x c.rhs;
-    let x_new =
-      try c.solver.Linear_solver.solve c.rhs
-      with Linear_solver.Singular msg ->
-        raise (No_convergence ("singular MNA matrix: " ^ msg))
-    in
-    st.solve_s <- st.solve_s +. (now () -. t1);
-    st.linear_solves <- st.linear_solves + 1;
-    (* clamp the update *)
-    let worst = ref 0.0 in
-    let norm = ref 0.0 in
-    for i = 0 to n - 1 do
-      let dx = x_new.(i) -. x.(i) in
-      let dx_limited =
-        if i < c.n_nodes then Float.max (-.max_step) (Float.min max_step dx)
-        else dx
+  let span_newton = Obs.start_span "mna.newton" in
+  let finish () =
+    Obs.observe h_iters (float_of_int !iter);
+    Obs.end_span ~args:[ ("iterations", float_of_int !iter) ] span_newton
+  in
+  let iterate () =
+    while (not !converged) && !iter < max_iter do
+      incr iter;
+      st.newton_iterations <- st.newton_iterations + 1;
+      Obs.incr c_newton_iters;
+      let t0 = now () in
+      let span_a = Obs.start_span "mna.assemble" in
+      refill c ~eval_wave ~caps ~inds ~gmin x;
+      Obs.end_span span_a;
+      let t1 = now () in
+      st.assemble_s <- st.assemble_s +. (t1 -. t0);
+      (* Newton residual of the current iterate, before the solve *)
+      st.residual <- c.solver.Linear_solver.residual x c.rhs;
+      Obs.observe h_residual st.residual;
+      let span_s = Obs.start_span "mna.solve" in
+      let x_new =
+        try c.solver.Linear_solver.solve c.rhs
+        with Linear_solver.Singular msg ->
+          raise (No_convergence ("singular MNA matrix: " ^ msg))
       in
-      if i < c.n_nodes then worst := Float.max !worst (Float.abs dx);
-      x.(i) <- x.(i) +. dx_limited;
-      norm := Float.max !norm (Float.abs x.(i))
+      Obs.end_span span_s;
+      st.solve_s <- st.solve_s +. (now () -. t1);
+      st.linear_solves <- st.linear_solves + 1;
+      Obs.incr c_linear_solves;
+      (* clamp the update *)
+      let worst = ref 0.0 in
+      let norm = ref 0.0 in
+      for i = 0 to n - 1 do
+        let dx = x_new.(i) -. x.(i) in
+        let dx_limited =
+          if i < c.n_nodes then Float.max (-.max_step) (Float.min max_step dx)
+          else dx
+        in
+        if i < c.n_nodes then worst := Float.max !worst (Float.abs dx);
+        x.(i) <- x.(i) +. dx_limited;
+        norm := Float.max !norm (Float.abs x.(i))
+      done;
+      if !worst <= tol *. Float.max 1.0 !norm then converged := true
     done;
-    if !worst <= tol *. Float.max 1.0 !norm then converged := true
-  done;
-  if not !converged then
-    raise (No_convergence (Printf.sprintf "Newton: %d iterations" max_iter));
+    if not !converged then
+      raise (No_convergence (Printf.sprintf "Newton: %d iterations" max_iter))
+  in
+  (* the newton span must close on both paths; end_span also closes any
+     assemble/solve span an exception unwound past *)
+  (match iterate () with
+  | () -> finish ()
+  | exception e ->
+      finish ();
+      raise e);
   x

@@ -39,6 +39,12 @@ val fresh_stats : backend:string -> unknowns:int -> nonzeros:int -> stats
 val reset_stats : stats -> unit
 (** Zero the mutable counters, keeping the structural fields. *)
 
+val add_stats : into:stats -> stats -> unit
+(** Fold the mutable counters of the second record into [into],
+    leaving structural fields alone (residuals combine by max).  Lets
+    an AC report include the operating-point solve it linearised
+    around. *)
+
 val pp_stats : Format.formatter -> stats -> unit
 
 type compiled

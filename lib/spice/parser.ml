@@ -442,6 +442,7 @@ let parse_print line tokens =
     tokens
 
 let parse text =
+  Cnt_obs.Obs.span "spice.parse" @@ fun () ->
   match logical_lines text with
   | [] -> raise (Parse_error "empty netlist")
   | first :: rest ->

@@ -2,7 +2,13 @@
    currents: backward Euler or trapezoidal companion models, a Newton
    solve per time step, and step halving on convergence failure. *)
 
+module Obs = Cnt_obs.Obs
+
 exception Analysis_error of string
+
+let c_steps_accepted = Obs.counter "tran.steps_accepted"
+let c_steps_rejected = Obs.counter "tran.steps_rejected"
+let h_step_size = Obs.histogram "tran.step_size"
 
 type method_ =
   | Backward_euler
@@ -71,6 +77,7 @@ let branch_currents caps comps x =
 
 let run ?(method_ = Trapezoidal) ?(gmin = 1e-12) ?(max_newton = 100) ?backend
     ?initial_condition circuit ~tstep ~tstop =
+  Obs.span "tran.run" @@ fun () ->
   if tstep <= 0.0 || tstop <= 0.0 || tstep > tstop then
     raise (Analysis_error "transient: need 0 < tstep <= tstop");
   let compiled = Mna.compile ?backend circuit in
@@ -104,6 +111,8 @@ let run ?(method_ = Trapezoidal) ?(gmin = 1e-12) ?(max_newton = 100) ?backend
         ~ind:(Mna.Ind_companions icomps) (Array.copy !x_prev)
     with
     | x ->
+        Obs.incr c_steps_accepted;
+        Obs.observe h_step_size h_now;
         i_prev := branch_currents caps comps x;
         x_prev := x;
         t := t_next;
@@ -112,6 +121,7 @@ let run ?(method_ = Trapezoidal) ?(gmin = 1e-12) ?(max_newton = 100) ?backend
         (* recover the step size after successful solves *)
         if !h < tstep then h := Float.min tstep (!h *. 2.0)
     | exception Mna.No_convergence _ ->
+        Obs.incr c_steps_rejected;
         if h_now <= h_min then
           raise
             (Analysis_error
