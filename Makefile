@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test check bench obs-smoke obs-bench repro clean
+.PHONY: all build test check bench obs-smoke obs-bench par-check par-bench repro clean
 
 all: build
 
@@ -23,6 +23,17 @@ obs-smoke:
 obs-bench:
 	dune exec bench/main.exe -- obs-overhead > results/BENCH_obs.json
 	@tail -n +2 results/BENCH_obs.json | head -n 4
+
+# Parallel determinism gate: the full test suite must pass with the
+# domain pool forced sequential and forced wide (see docs/PARALLEL.md).
+par-check:
+	CNT_JOBS=1 dune runtest --force
+	CNT_JOBS=4 dune runtest --force
+
+# Parallel-scaling benchmark; refreshes the committed artefact.
+par-bench:
+	dune exec bench/main.exe -- parallel-json > results/BENCH_parallel.json
+	@tail -n +2 results/BENCH_parallel.json | head -n 5
 
 repro:
 	dune exec bin/repro.exe -- all

@@ -392,11 +392,112 @@ let scaling_json () =
   Buffer.add_string buf "\n  ]\n}\n";
   print_string (Buffer.contents buf)
 
+(* Parallel scaling: the same deterministic workloads on the domain
+   pool at 1 and 4 domains.  Outputs are byte-identical at every jobs
+   count (see docs/PARALLEL.md); only wall-clock changes, and only when
+   the host actually has spare cores.  `main parallel-json` runs the
+   jobs in {1, 2, 4} sweep standalone and emits JSON (committed as
+   results/BENCH_parallel.json). *)
+let parallel_workloads =
+  let open Cnt_spice in
+  let open Cnt_experiments in
+  let mc_config count = { Variation.default_config with count; seed = 42L } in
+  let p_model = lazy (Cnt_model.model2 ~polarity:Cnt_model.P_type ()) in
+  let inverter () =
+    Circuit.create
+      [
+        Circuit.vdc "vdd" "vdd" "0" 0.6;
+        Circuit.vdc "vin" "in" "0" 0.0;
+        Circuit.cnfet "mn" ~drain:"out" ~gate:"in" ~source:"0" model2;
+        Circuit.cnfet "mp" ~drain:"out" ~gate:"in" ~source:"vdd"
+          (Lazy.force p_model);
+      ]
+  in
+  [
+    ( "variation_mc_96",
+      fun jobs -> ignore (Variation.run ~config:(mc_config 96) ~jobs ()) );
+    ( "inverter_vtc_241pt",
+      fun jobs ->
+        ignore
+          (Dc.sweep (inverter ()) ~jobs ~source:"vin" ~start:0.0 ~stop:0.6
+             ~step:0.0025) );
+  ]
+
+let parallel_group =
+  Test.make_grouped ~name:"parallel"
+    (List.concat_map
+       (fun (name, work) ->
+         List.map
+           (fun jobs ->
+             Test.make
+               ~name:(Printf.sprintf "%s_j%d" name jobs)
+               (stage_unit (fun () -> work jobs)))
+           [ 1; 4 ])
+       parallel_workloads)
+
+(* Standalone parallel-scaling run: best-of-N wall clock per workload
+   at jobs in {1, 2, 4}, as JSON on stdout.  host_cores records what
+   the machine can actually run concurrently — on a single-core host
+   extra domains are a net wall-clock cost (time-slicing plus OCaml 5's
+   stop-the-world minor-GC sync across running domains), so the
+   speedups there quantify the oversubscription penalty, not the
+   pool. *)
+let parallel_json ~repeats =
+  let jobs_list = [ 1; 2; 4 ] in
+  let best f =
+    let b = ref infinity in
+    for k = 1 to 1 + repeats do
+      (* first run warms caches and is discarded *)
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if k > 1 && dt < !b then b := dt
+    done;
+    !b
+  in
+  let entries =
+    List.map
+      (fun (name, work) ->
+        let timed =
+          List.map (fun jobs -> (jobs, best (fun () -> work jobs))) jobs_list
+        in
+        let base_s = List.assoc 1 timed in
+        let cells =
+          List.map
+            (fun (jobs, s) ->
+              Printf.sprintf
+                "      {\"jobs\": %d, \"wall_s\": %.6g, \"speedup\": %.3g}"
+                jobs s (base_s /. s))
+            timed
+        in
+        Printf.sprintf "    {\"workload\": \"%s\", \"runs\": [\n%s\n    ]}"
+          name
+          (String.concat ",\n" cells))
+      parallel_workloads
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"benchmark\": \"parallel_scaling\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cores\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf (Printf.sprintf "  \"repeats\": %d,\n" repeats);
+  Buffer.add_string buf "  \"time_metric\": \"best_wall_clock_s\",\n";
+  Buffer.add_string buf
+    "  \"note\": \"outputs are byte-identical at every jobs count; speedup \
+     needs host_cores > 1 -- when domains outnumber cores they time-slice \
+     and pay stop-the-world minor-GC sync, so speedup < 1 quantifies the \
+     oversubscription penalty, not the pool\",\n";
+  Buffer.add_string buf "  \"results\": [\n";
+  Buffer.add_string buf (String.concat ",\n" entries);
+  Buffer.add_string buf "\n  ]\n}\n";
+  print_string (Buffer.contents buf)
+
 let all_tests =
   Test.make_grouped ~name:"cntsim"
     [
       table1; table2; table3; table4; table5; fig23; fig45; fig69; fig1011;
-      ablation; spice_group; scaling_group; obs_overhead_group;
+      ablation; spice_group; scaling_group; obs_overhead_group; parallel_group;
     ]
 
 let benchmark () =
@@ -421,6 +522,11 @@ let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "obs-overhead" then begin
     let smoke = Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke" in
     obs_overhead_json ~repeats:(if smoke then 2 else 10);
+    exit 0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "parallel-json" then begin
+    let smoke = Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke" in
+    parallel_json ~repeats:(if smoke then 1 else 5);
     exit 0
   end;
   List.iter

@@ -30,7 +30,7 @@ let eval_model which device ~optimise =
       fun ~vgs ~vds -> Table_model.ids m ~vgs ~vds
 
 let run which temp fermi diameter tox vgs_csv vds_max points format optimise
-    compare profile =
+    compare profile jobs =
   if profile then Cnt_obs.Obs.enable ();
   let device =
     Device.create ~temp ~fermi ~diameter:(diameter *. 1e-9)
@@ -43,8 +43,15 @@ let run which temp fermi diameter tox vgs_csv vds_max points format optimise
   in
   let vds_points = Grid.linspace 0.0 vds_max points in
   let ids = eval_model which device ~optimise in
+  (* model evaluation is pure, so gate-voltage curves fan out across
+     the pool; results land in vgs order at any job count *)
   let curves =
-    List.map (fun vgs -> (vgs, Array.map (fun vds -> ids ~vgs ~vds) vds_points)) vgs_list
+    let module Pool = Cnt_par.Pool in
+    Pool.with_pool ?jobs (fun pool ->
+        Pool.parallel_map pool ~chunk:1
+          (fun vgs -> (vgs, Array.map (fun vds -> ids ~vgs ~vds) vds_points))
+          (Array.of_list vgs_list))
+    |> Array.to_list
   in
   if compare then begin
     (* per-gate-voltage relative RMS against the full reference *)
@@ -141,6 +148,6 @@ let cmd =
     Term.(
       const run $ which_arg $ temp_arg $ fermi_arg $ diameter_arg $ tox_arg
       $ vgs_arg $ vds_max_arg $ points_arg $ format_arg $ optimise_arg
-      $ compare_arg $ profile_arg)
+      $ compare_arg $ profile_arg $ Cnt_cli.Cli_jobs.arg)
 
 let () = exit (Cmd.eval' cmd)

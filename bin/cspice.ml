@@ -35,7 +35,7 @@ let print_profile () =
   print_string (Cnt_obs.Report.render_profile ());
   print_latency_histograms ()
 
-let run csv_dir max_rows stats profile trace solver path =
+let run csv_dir max_rows stats profile trace solver jobs path =
   if profile || trace <> None then Cnt_obs.Obs.enable ();
   let text =
     let ic = open_in path in
@@ -50,7 +50,7 @@ let run csv_dir max_rows stats profile trace solver path =
       1
   | deck ->
       Printf.printf "* title: %s\n" deck.Cnt_spice.Parser.title;
-      let tables = Cnt_spice.Engine.run_deck ~backend:solver deck in
+      let tables = Cnt_spice.Engine.run_deck ~backend:solver ?jobs deck in
       if tables = [] then
         prerr_endline "warning: netlist contains no analysis directive (.op/.dc/.tran)";
       List.iteri
@@ -126,6 +126,6 @@ let cmd =
   Cmd.v (Cmd.info "cspice" ~doc)
     Term.(
       const run $ csv_arg $ rows_arg $ stats_arg $ profile_arg $ trace_arg
-      $ solver_arg $ path_arg)
+      $ solver_arg $ Cnt_cli.Cli_jobs.arg $ path_arg)
 
 let () = exit (Cmd.eval' cmd)

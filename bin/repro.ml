@@ -6,7 +6,7 @@
 
 open Cmdliner
 
-let run_repro list_only quiet profile dir ids =
+let run_repro list_only quiet profile dir jobs ids =
   if list_only then begin
     List.iter print_endline Cnt_experiments.Repro.experiment_ids;
     0
@@ -19,7 +19,7 @@ let run_repro list_only quiet profile dir ids =
       | ids -> ids
     in
     match
-      Cnt_experiments.Repro.run_all ~dir ~ids ~print:(not quiet) ()
+      Cnt_experiments.Repro.run_all ~dir ~ids ?jobs ~print:(not quiet) ()
     with
     | results ->
         List.iter
@@ -60,6 +60,8 @@ let cmd =
   let doc = "regenerate the tables and figures of the CNT piecewise-model paper" in
   Cmd.v
     (Cmd.info "repro" ~doc)
-    Term.(const run_repro $ list_arg $ quiet_arg $ profile_arg $ dir_arg $ ids_arg)
+    Term.(
+      const run_repro $ list_arg $ quiet_arg $ profile_arg $ dir_arg
+      $ Cnt_cli.Cli_jobs.arg $ ids_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -18,8 +18,16 @@ val errors_for : Workloads.models -> vgs:float -> float * float
 (** [(model1_error, model2_error)] for one gate voltage. *)
 
 val compute :
-  ?tuned:bool -> ?temps:float list -> ?vgs_list:float list -> float -> table
-(** Compute the table for one Fermi level (eV). *)
+  ?tuned:bool ->
+  ?temps:float list ->
+  ?vgs_list:float list ->
+  ?jobs:int ->
+  float ->
+  table
+(** Compute the table for one Fermi level (eV).  Per-temperature
+    condition building and per-cell error evaluation fan out over
+    [jobs] domains (default [Cnt_par.Pool.default_jobs]); the table is
+    identical at any job count. *)
 
 val cell : table -> vgs:float -> temp:float -> cell option
 

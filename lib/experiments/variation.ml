@@ -6,7 +6,13 @@
    numbers of such devices" — where per-device model construction cost
    matters as much as evaluation cost: a fit takes milliseconds, so a
    thousand-device variation run is practical where the reference model
-   would need hours.  Sampling is deterministic (SplitMix64). *)
+   would need hours.
+
+   Sampling is deterministic (SplitMix64) and {e per-sample}: sample i
+   draws from its own [Prng.stream] derived purely from the seed and i,
+   so the sampled geometries — and hence the whole spread — are
+   byte-identical whether the samples are evaluated sequentially or
+   fanned out over any number of domains in any order. *)
 
 open Cnt_numerics
 open Cnt_physics
@@ -60,16 +66,29 @@ let sample_device rng config nominal =
     ~fermi:nominal.Device.fermi ~alpha_g:nominal.Device.alpha_g
     ~alpha_d:nominal.Device.alpha_d ~subbands:nominal.Device.subbands ()
 
-let run ?(config = default_config) ?(nominal = Device.default) () =
+let run ?(config = default_config) ?(nominal = Device.default) ?jobs () =
+  let module Pool = Cnt_par.Pool in
   if config.count < 2 then invalid_arg "Variation.run: need at least 2 samples";
-  let rng = Prng.create ~seed:config.seed () in
+  let base = Prng.create ~seed:config.seed () in
   let on_current device =
     let model = Cnt_model.make ~spec:Charge_fit.model2_spec device in
     Cnt_model.ids model ~vgs:config.vgs ~vds:config.vds
   in
   let nominal_current = on_current nominal in
+  let jobs =
+    if Pool.in_task () then 1
+    else match jobs with Some j -> j | None -> Pool.default_jobs ()
+  in
+  let indices = Array.init config.count Fun.id in
   let samples =
-    Array.init config.count (fun _ -> on_current (sample_device rng config nominal))
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.parallel_map pool
+          (fun i ->
+            (* stream i depends only on (seed, i): any schedule, any
+               job count, same draws *)
+            let rng = Prng.stream base i in
+            on_current (sample_device rng config nominal))
+          indices)
   in
   {
     nominal = nominal_current;

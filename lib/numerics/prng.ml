@@ -40,3 +40,22 @@ let gaussian ?(mean = 0.0) ?(sigma = 1.0) t =
 let split t =
   (* derive an independent stream deterministically *)
   create ~seed:(next_int64 t) ()
+
+let jump t n =
+  if n < 0 then invalid_arg "Prng.jump: negative count";
+  (* SplitMix64's state walks an arithmetic sequence, so skipping n
+     draws is a single multiply-add rather than n steps. *)
+  t.state <- Int64.add t.state (Int64.mul (Int64.of_int n) golden)
+
+(* The SplitMix64 output finalizer, used to decorrelate derived seeds. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let stream t i =
+  if i < 0 then invalid_arg "Prng.stream: negative index";
+  (* Pure in [t]: stream i's seed is the finalized i-th successor of the
+     base state, so stream i is the same no matter how many other
+     streams exist or in which order they are created. *)
+  create ~seed:(mix (Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden))) ()

@@ -17,4 +17,17 @@ val gaussian : ?mean:float -> ?sigma:float -> t -> float
 (** Normal variate by Box-Muller. *)
 
 val split : t -> t
-(** Derive an independent stream. *)
+(** Derive an independent stream, advancing [t] by one draw. *)
+
+val jump : t -> int -> unit
+(** [jump t n] advances [t] by exactly [n] draws in O(1) — after it,
+    [t] produces the same values as if [n] values had been consumed.
+    Raises [Invalid_argument] on negative [n]. *)
+
+val stream : t -> int -> t
+(** [stream t i] derives the [i]-th independent sub-stream of [t]
+    {e without} mutating [t]: stream [i] is a pure function of [t]'s
+    current state and [i], so it yields the same draws no matter how
+    many other streams are created, in what order, or on which domain —
+    the property that keeps parallel Monte-Carlo runs byte-identical at
+    any job count.  Raises [Invalid_argument] on negative [i]. *)

@@ -1,0 +1,310 @@
+(* Domain-based task pool with per-domain queues and work stealing.
+
+   Determinism before throughput: a parallel operation is a fixed array
+   of index-tagged tasks dealt round-robin across per-slot queues.
+   Scheduling (who runs which chunk, in what order) is free to vary;
+   what a task *computes* depends only on its index, and where its
+   result *lands* depends only on its index, so outputs never depend on
+   the schedule.  The jobs = 1 path runs the very same task array
+   sequentially in index order — no domains, no locks on the hot path —
+   which is what makes single-domain runs bit-identical by default.
+
+   Error discipline: a failing task never cancels the region.  All
+   tasks run to completion; afterwards the caller re-raises the
+   exception of the lowest-numbered failing task with its original
+   backtrace, so the surfaced failure is schedule-independent whenever
+   failures themselves are deterministic. *)
+
+module Obs = Cnt_obs.Obs
+
+type jobs_spec = Auto | Fixed of int
+
+let resolve = function
+  | Auto -> Int.max 1 (Domain.recommended_domain_count ())
+  | Fixed n ->
+      if n < 1 then
+        invalid_arg (Printf.sprintf "Pool.resolve: jobs = %d (must be >= 1)" n)
+      else n
+
+let jobs_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> Ok Auto
+  | t -> (
+      match int_of_string_opt t with
+      | Some n when n >= 1 -> Ok (Fixed n)
+      | Some n -> Error (Printf.sprintf "jobs must be >= 1 (got %d)" n)
+      | None ->
+          Error
+            (Printf.sprintf "invalid job count %S (expected a positive integer or \"auto\")" s))
+
+let default_jobs () =
+  match Sys.getenv_opt "CNT_JOBS" with
+  | None | Some "" -> 1
+  | Some s -> (
+      match jobs_of_string s with
+      | Ok spec -> resolve spec
+      | Error msg -> invalid_arg ("CNT_JOBS: " ^ msg))
+
+type task = { t_idx : int; t_run : unit -> unit }
+
+type batch = {
+  b_queues : task list ref array;
+  b_locks : Mutex.t array;
+  b_remaining : int Atomic.t;
+  b_errors : (int * exn * Printexc.raw_backtrace) list ref;
+  b_err_lock : Mutex.t;
+}
+
+type t = {
+  p_jobs : int;
+  p_lock : Mutex.t;
+  p_work : Condition.t;  (* new batch installed, or shutdown *)
+  p_done : Condition.t;  (* last task of the batch finished *)
+  mutable p_batch : batch option;
+  mutable p_generation : int;
+  mutable p_shutdown : bool;
+  mutable p_busy : bool;  (* a parallel region is in flight *)
+  mutable p_domains : unit Domain.t array;
+}
+
+(* Both keys are per-domain: [slot_key] names the Obs/workspace slot a
+   domain records into (0 = pool caller), [in_task_key] flags task
+   context so nested pool use fails fast instead of deadlocking. *)
+let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let in_task_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let current_slot () = Domain.DLS.get slot_key
+let in_task () = Domain.DLS.get in_task_key
+
+let take b slot =
+  Mutex.lock b.b_locks.(slot);
+  let r =
+    match !(b.b_queues.(slot)) with
+    | [] -> None
+    | t :: rest ->
+        b.b_queues.(slot) := rest;
+        Some t
+  in
+  Mutex.unlock b.b_locks.(slot);
+  r
+
+(* Own queue first, then steal round-robin starting at the next slot. *)
+let next_task b ~jobs ~slot =
+  match take b slot with
+  | Some _ as r -> r
+  | None ->
+      let rec steal k =
+        if k >= jobs then None
+        else
+          match take b ((slot + k) mod jobs) with
+          | Some _ as r -> r
+          | None -> steal (k + 1)
+      in
+      steal 1
+
+let run_task pool b t =
+  Domain.DLS.set in_task_key true;
+  let err =
+    try
+      t.t_run ();
+      None
+    with e -> Some (e, Printexc.get_raw_backtrace ())
+  in
+  Domain.DLS.set in_task_key false;
+  (match err with
+  | None -> ()
+  | Some (e, bt) ->
+      Mutex.lock b.b_err_lock;
+      b.b_errors := (t.t_idx, e, bt) :: !(b.b_errors);
+      Mutex.unlock b.b_err_lock);
+  if Atomic.fetch_and_add b.b_remaining (-1) = 1 then (
+    Mutex.lock pool.p_lock;
+    Condition.broadcast pool.p_done;
+    Mutex.unlock pool.p_lock)
+
+let serve pool b slot =
+  let jobs = pool.p_jobs in
+  let rec loop () =
+    match next_task b ~jobs ~slot with
+    | None -> ()
+    | Some t ->
+        run_task pool b t;
+        loop ()
+  in
+  loop ()
+
+let worker pool slot =
+  Domain.DLS.set slot_key slot;
+  Obs.set_slot slot;
+  let last_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.p_lock;
+    while (not pool.p_shutdown) && pool.p_generation = !last_gen do
+      Condition.wait pool.p_work pool.p_lock
+    done;
+    if pool.p_shutdown then (
+      running := false;
+      Mutex.unlock pool.p_lock)
+    else (
+      last_gen := pool.p_generation;
+      let batch = pool.p_batch in
+      Mutex.unlock pool.p_lock;
+      match batch with None -> () | Some b -> serve pool b slot)
+  done
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Pool.create: jobs = %d (must be >= 1)" jobs);
+  if Domain.DLS.get in_task_key then
+    invalid_arg "Pool.create: cannot create a pool from inside a pool task";
+  let pool =
+    {
+      p_jobs = jobs;
+      p_lock = Mutex.create ();
+      p_work = Condition.create ();
+      p_done = Condition.create ();
+      p_batch = None;
+      p_generation = 0;
+      p_shutdown = false;
+      p_busy = false;
+      p_domains = [||];
+    }
+  in
+  if jobs > 1 then (
+    Obs.ensure_slots jobs;
+    pool.p_domains <-
+      Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker pool (k + 1))));
+  pool
+
+let jobs pool = pool.p_jobs
+
+let shutdown pool =
+  Mutex.lock pool.p_lock;
+  let first = not pool.p_shutdown in
+  pool.p_shutdown <- true;
+  Condition.broadcast pool.p_work;
+  Mutex.unlock pool.p_lock;
+  if first then Array.iter Domain.join pool.p_domains
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let raise_lowest errors =
+  match errors with
+  | [] -> ()
+  | first :: rest ->
+      let _, e, bt =
+        List.fold_left
+          (fun (i0, _, _ as acc) (i, _, _ as cand) -> if i < i0 then cand else acc)
+          first rest
+      in
+      Printexc.raise_with_backtrace e bt
+
+let run_region pool (tasks : task array) =
+  if Domain.DLS.get in_task_key then
+    invalid_arg "Pool: nested parallel region (pool used from inside a task)";
+  Mutex.lock pool.p_lock;
+  if pool.p_shutdown then (
+    Mutex.unlock pool.p_lock;
+    invalid_arg "Pool: pool is shut down");
+  if pool.p_busy then (
+    Mutex.unlock pool.p_lock;
+    invalid_arg "Pool: concurrent parallel regions on one pool");
+  pool.p_busy <- true;
+  Mutex.unlock pool.p_lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock pool.p_lock;
+      pool.p_busy <- false;
+      Mutex.unlock pool.p_lock)
+  @@ fun () ->
+  if pool.p_jobs = 1 || Array.length tasks <= 1 then (
+    (* Sequential path: same tasks, index order, same error discipline. *)
+    let errors = ref [] in
+    Array.iter
+      (fun t ->
+        Domain.DLS.set in_task_key true;
+        (try t.t_run ()
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           errors := (t.t_idx, e, bt) :: !errors);
+        Domain.DLS.set in_task_key false)
+      tasks;
+    raise_lowest !errors)
+  else (
+    let jobs = pool.p_jobs in
+    (* Worker root spans nest under the caller's innermost open span so
+       profile paths aggregate identically at any job count. *)
+    let base = Obs.open_frame () in
+    for s = 1 to jobs - 1 do
+      Obs.set_slot_base s base
+    done;
+    let dealt = Array.make jobs [] in
+    Array.iter (fun t -> dealt.(t.t_idx mod jobs) <- t :: dealt.(t.t_idx mod jobs)) tasks;
+    let b =
+      {
+        b_queues = Array.map (fun l -> ref (List.rev l)) dealt;
+        b_locks = Array.init jobs (fun _ -> Mutex.create ());
+        b_remaining = Atomic.make (Array.length tasks);
+        b_errors = ref [];
+        b_err_lock = Mutex.create ();
+      }
+    in
+    Mutex.lock pool.p_lock;
+    pool.p_batch <- Some b;
+    pool.p_generation <- pool.p_generation + 1;
+    Condition.broadcast pool.p_work;
+    Mutex.unlock pool.p_lock;
+    serve pool b 0;
+    Mutex.lock pool.p_lock;
+    while Atomic.get b.b_remaining > 0 do
+      Condition.wait pool.p_done pool.p_lock
+    done;
+    pool.p_batch <- None;
+    Mutex.unlock pool.p_lock;
+    for s = 1 to jobs - 1 do
+      Obs.set_slot_base s None
+    done;
+    Obs.merge ();
+    raise_lowest !(b.b_errors))
+
+(* ~4 chunks per domain balances stealing freedom against per-task cost. *)
+let default_chunk pool n =
+  let target = 4 * pool.p_jobs in
+  Int.max 1 ((n + target - 1) / target)
+
+let parallel_for_chunks pool ~chunk n body =
+  if chunk < 1 then
+    invalid_arg (Printf.sprintf "Pool.parallel_for_chunks: chunk = %d (must be >= 1)" chunk);
+  if n < 0 then
+    invalid_arg (Printf.sprintf "Pool.parallel_for_chunks: n = %d (must be >= 0)" n);
+  if n > 0 then (
+    let n_chunks = (n + chunk - 1) / chunk in
+    let tasks =
+      Array.init n_chunks (fun c ->
+          let lo = c * chunk in
+          let hi = Int.min n (lo + chunk) in
+          { t_idx = c; t_run = (fun () -> body ~lo ~hi) })
+    in
+    run_region pool tasks)
+
+let parallel_for pool ?chunk n f =
+  let chunk = match chunk with Some c -> c | None -> default_chunk pool n in
+  parallel_for_chunks pool ~chunk n (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+
+let parallel_map pool ?chunk f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else (
+    let out = Array.make n None in
+    let chunk = match chunk with Some c -> c | None -> default_chunk pool n in
+    parallel_for_chunks pool ~chunk n (fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- Some (f xs.(i))
+        done);
+    Array.map (function Some v -> v | None -> assert false) out)

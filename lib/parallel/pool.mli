@@ -1,0 +1,103 @@
+(** Domain-based task pool with per-domain work queues, work stealing,
+    and deterministic result placement.
+
+    A pool owns [jobs - 1] worker domains plus the calling domain; a
+    parallel operation splits its index range into chunks, deals the
+    chunks round-robin across per-domain queues, and every domain
+    (caller included) drains its own queue first and then steals from
+    the others.  Results land by index, so the output of
+    {!parallel_map} is independent of the scheduling order; with a
+    caller-fixed [chunk] size the chunk {e boundaries} are independent
+    of the job count too, which is what makes stateful per-chunk
+    algorithms (DC sweep warm starts) byte-identical at any [jobs].
+
+    At [jobs = 1] no domain is ever spawned and every operation runs
+    sequentially in the caller, chunk by chunk in index order —
+    behaviour is bit-identical to not using the pool at all.
+
+    Telemetry recorded inside tasks lands in per-slot [Cnt_obs.Obs]
+    shards (worker [k] records into slot [k + 1]) and is folded back
+    into the main slot when the operation completes, so profiles keep
+    the same shape at any job count.
+
+    One parallel region at a time: operations reject nested use (a
+    task calling back into a pool) and concurrent use from two domains
+    with [Invalid_argument].  Exceptions raised by tasks do not cancel
+    the remaining chunks; once the region completes, the exception of
+    the lowest-numbered failing chunk is re-raised in the caller. *)
+
+(** {1 Job-count selection} *)
+
+type jobs_spec =
+  | Auto  (** [Domain.recommended_domain_count ()] *)
+  | Fixed of int  (** explicit domain count, [>= 1] *)
+
+val resolve : jobs_spec -> int
+(** [Fixed n] is [n]; [Auto] is the runtime's recommended domain
+    count (at least 1).  Raises [Invalid_argument] on [Fixed n] with
+    [n < 1]. *)
+
+val jobs_of_string : string -> (jobs_spec, string) result
+(** Parse ["auto"] or a positive integer — the shared validation
+    behind every [--jobs] flag and the [CNT_JOBS] variable.  Zero,
+    negative and malformed values are rejected with a descriptive
+    message. *)
+
+val default_jobs : unit -> int
+(** The engine-wide default job count: [CNT_JOBS] when set (["auto"]
+    or a positive integer; raises [Invalid_argument] on a malformed
+    value), else 1 — so existing single-domain behaviour is the
+    default. *)
+
+(** {1 Pools} *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs]
+    defaults to {!default_jobs}; raises [Invalid_argument] when
+    [jobs < 1] or when called from inside a pool task). *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; the pool rejects
+    further parallel operations afterwards. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down on both
+    return and exception. *)
+
+val current_slot : unit -> int
+(** Slot of the calling domain inside a parallel operation: 0 for the
+    caller, [k + 1] for worker [k].  0 outside any pool.  Use it to
+    index per-domain scratch state (e.g. cloned solver workspaces). *)
+
+val in_task : unit -> bool
+(** Whether the calling code runs inside a pool task.  Library code
+    that accepts a [?jobs] argument uses this to degrade to sequential
+    execution when invoked from a task instead of raising on nested
+    pool use. *)
+
+(** {1 Parallel operations}
+
+    [chunk] is the number of consecutive indices per task (default:
+    splits the range into roughly [4 * jobs] tasks).  Pass an explicit
+    [chunk] when per-chunk state must not depend on the job count. *)
+
+val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f xs] is [Array.map f xs] with the elements
+    evaluated across the pool; [f] runs exactly once per element and
+    results land by index. *)
+
+val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for pool n f] runs [f i] for [0 <= i < n] across the
+    pool. *)
+
+val parallel_for_chunks : t -> chunk:int -> int -> (lo:int -> hi:int -> unit) -> unit
+(** [parallel_for_chunks pool ~chunk n body] runs [body ~lo ~hi] for
+    each block [\[lo, hi)] of [chunk] consecutive indices covering
+    [\[0, n)].  The block boundaries depend only on [n] and [chunk] —
+    never on the job count — so a body that carries state across the
+    indices of one block (warm starts) produces identical results at
+    any [jobs]. *)

@@ -1,6 +1,7 @@
 (* DC analyses: operating point and swept operating points. *)
 
 module Obs = Cnt_obs.Obs
+module Pool = Cnt_par.Pool
 
 exception Analysis_error of string
 
@@ -97,12 +98,22 @@ let sweep_point_count ~start ~stop ~step =
     int_of_float nearest + 1
   else int_of_float (Float.floor ratio) + 1
 
-(* Sweep the DC value of a voltage source, warm-starting each point
-   from the previous solution.  The circuit is compiled once; the swept
-   source is overridden by name inside [eval_wave], so the matrix
-   structure, slot program and solver workspace are shared by every
-   point. *)
-let sweep ?(gmin = 1e-12) ?backend circuit ~source ~start ~stop ~step =
+(* Points per warm-start run.  A fixed constant — never derived from
+   the job count — so the run boundaries, and therefore every solution,
+   are identical at any [jobs]. *)
+let sweep_chunk = 8
+
+(* Sweep the DC value of a voltage source.  The circuit is compiled
+   once; the swept source is overridden by name inside [eval_wave], so
+   the matrix structure and slot program are shared by every point.
+   The sweep is cut into fixed-size runs of [sweep_chunk] points: the
+   first point of a run solves cold (with the usual source-stepping
+   fallback) and later points warm-start from their predecessor.  Runs
+   are independent, so they fan out across a [Cnt_par.Pool]; each
+   domain refills its own {!Mna.clone} workspace (slot 0 reuses the
+   main one) and clone telemetry is folded back in slot order, keeping
+   both the results and the reported stats independent of [jobs]. *)
+let sweep ?(gmin = 1e-12) ?backend ?jobs circuit ~source ~start ~stop ~step =
   Obs.span "dc.sweep" @@ fun () ->
   let n = sweep_point_count ~start ~stop ~step in
   Obs.incr ~by:n c_sweep_points;
@@ -118,28 +129,55 @@ let sweep ?(gmin = 1e-12) ?backend circuit ~source ~start ~stop ~step =
       (Analysis_error (Printf.sprintf "dc sweep: no voltage source named %s" source));
   let compiled = Mna.compile ?backend circuit in
   let values = Array.init n (fun i -> start +. (float_of_int i *. step)) in
-  let swept = ref start in
-  let eval_wave name w = if names_equal name source then !swept else Waveform.dc_value w in
-  let points =
-    let prev = ref None in
-    Array.map
-      (fun v ->
-        swept := v;
-        let solution =
-          match !prev with
-          | Some p -> begin
-              try
-                Mna.newton ~gmin compiled ~eval_wave ~cap:Mna.Open_circuit
-                  (Array.copy p.solution)
-              with Mna.No_convergence _ -> solve_op ~gmin compiled ~eval_wave
-            end
-          | None -> solve_op ~gmin compiled ~eval_wave
-        in
-        let r = { compiled; solution } in
-        prev := Some r;
-        r)
-      values
+  let jobs =
+    if Pool.in_task () then 1
+    else match jobs with Some j -> j | None -> Pool.default_jobs ()
   in
+  let solutions = Array.make n [||] in
+  Pool.with_pool ~jobs (fun pool ->
+      let workspaces = Array.make (Pool.jobs pool) None in
+      workspaces.(0) <- Some compiled;
+      (* Slot-private lazy clones: only the owning domain ever touches
+         its entry, so no locking is needed. *)
+      let workspace () =
+        let slot = Pool.current_slot () in
+        match workspaces.(slot) with
+        | Some c -> c
+        | None ->
+            let c = Mna.clone compiled in
+            workspaces.(slot) <- Some c;
+            c
+      in
+      Pool.parallel_for_chunks pool ~chunk:sweep_chunk n (fun ~lo ~hi ->
+          let c = workspace () in
+          let swept = ref values.(lo) in
+          let eval_wave name w =
+            if names_equal name source then !swept else Waveform.dc_value w
+          in
+          let prev = ref None in
+          for i = lo to hi - 1 do
+            swept := values.(i);
+            let solution =
+              match !prev with
+              | Some p -> begin
+                  try
+                    Mna.newton ~gmin c ~eval_wave ~cap:Mna.Open_circuit
+                      (Array.copy p)
+                  with Mna.No_convergence _ -> solve_op ~gmin c ~eval_wave
+                end
+              | None -> solve_op ~gmin c ~eval_wave
+            in
+            solutions.(i) <- solution;
+            prev := Some solution
+          done);
+      Array.iteri
+        (fun slot ws ->
+          if slot > 0 then
+            Option.iter
+              (fun c -> Mna.add_stats ~into:(Mna.stats compiled) (Mna.stats c))
+              ws)
+        workspaces);
+  let points = Array.map (fun solution -> { compiled; solution }) solutions in
   { compiled; sweep_values = values; points }
 
 let sweep_voltage r name = Array.map (fun p -> voltage p name) r.points

@@ -36,20 +36,26 @@ type sweep_result = {
 val sweep :
   ?gmin:float ->
   ?backend:Cnt_numerics.Linear_solver.backend ->
+  ?jobs:int ->
   Circuit.t ->
   source:string ->
   start:float ->
   stop:float ->
   step:float ->
   sweep_result
-(** Sweep the DC value of [source], warm-starting each operating point
-    from the previous one.  The circuit is compiled once and the swept
-    source overridden by name, so every point shares one matrix
-    structure and solver workspace.  Raises [Invalid_argument] when
-    [step <= 0], when [stop < start], or when any bound is not finite;
-    raises {!Analysis_error} when [source] names no voltage source.
-    When [step] does not divide the range, the sweep stops at the last
-    point not beyond [stop]. *)
+(** Sweep the DC value of [source].  The circuit is compiled once and
+    the swept source overridden by name, so every point shares one
+    matrix structure.  Points are solved in fixed-size runs of 8: the
+    first point of each run solves cold and the rest warm-start from
+    their predecessor.  Runs fan out over [jobs] domains (default:
+    [Cnt_par.Pool.default_jobs], i.e. [CNT_JOBS] or 1); each extra
+    domain refills its own {!Mna.clone} workspace, and because the run
+    boundaries never depend on the job count, results and accumulated
+    {!sweep_stats} are identical at any [jobs].  Raises
+    [Invalid_argument] when [step <= 0], when [stop < start], or when
+    any bound is not finite; raises {!Analysis_error} when [source]
+    names no voltage source.  When [step] does not divide the range,
+    the sweep stops at the last point not beyond [stop]. *)
 
 val sweep_voltage : sweep_result -> string -> float array
 val sweep_current : sweep_result -> string -> float array

@@ -51,9 +51,9 @@ let op_table ?backend circuit prints =
   in
   { analysis_label = "op"; columns; rows = [| row |]; stats = Dc.stats r }
 
-let dc_table ?backend circuit prints ~source ~start ~stop ~step =
+let dc_table ?backend ?jobs circuit prints ~source ~start ~stop ~step =
   Obs.span "analysis.dc" @@ fun () ->
-  let r = Dc.sweep ?backend circuit ~source ~start ~stop ~step in
+  let r = Dc.sweep ?backend ?jobs circuit ~source ~start ~stop ~step in
   let prints = default_prints circuit prints in
   let columns =
     Array.of_list (source :: List.map print_label prints)
@@ -152,14 +152,14 @@ let tran_table ?backend circuit prints ~tstep ~tstop =
     stats = Transient.stats r;
   }
 
-let run_deck ?backend (deck : Parser.deck) =
+let run_deck ?backend ?jobs (deck : Parser.deck) =
   List.map
     (fun analysis ->
       match analysis with
       | Parser.Op -> op_table ?backend deck.Parser.circuit deck.Parser.prints
       | Parser.Dc_sweep { source; start; stop; step } ->
-          dc_table ?backend deck.Parser.circuit deck.Parser.prints ~source ~start
-            ~stop ~step
+          dc_table ?backend ?jobs deck.Parser.circuit deck.Parser.prints ~source
+            ~start ~stop ~step
       | Parser.Tran { tstep; tstop } ->
           tran_table ?backend deck.Parser.circuit deck.Parser.prints ~tstep ~tstop
       | Parser.Ac_sweep { per_decade; fstart; fstop } ->

@@ -11,11 +11,16 @@ type table = {
 }
 
 val run_deck :
-  ?backend:Cnt_numerics.Linear_solver.backend -> Parser.deck -> table list
+  ?backend:Cnt_numerics.Linear_solver.backend ->
+  ?jobs:int ->
+  Parser.deck ->
+  table list
 (** Run every analysis in deck order.  When the deck has no [.print]
     directive, all node voltages are reported.  [backend] selects the
     linear solver for DC and transient analyses ([Auto] default; AC
-    always uses the dense complex solver). *)
+    always uses the dense complex solver).  [jobs] fans DC sweeps out
+    over that many domains (see {!Dc.sweep}; default [CNT_JOBS] or 1 —
+    results are identical at any value). *)
 
 val pp_table : ?max_rows:int -> ?stats:bool -> Format.formatter -> table -> unit
 (** Pretty-print a table; [~stats:true] appends a solver-statistics

@@ -157,6 +157,9 @@ type compiled = {
   program : int array; (* backend slots in stamp emission order *)
   rhs : float array; (* refilled in place each iteration *)
   stats : stats;
+  (* kept so [clone] can allocate an identical solver workspace *)
+  sym_backend : Linear_solver.backend;
+  sym_pattern : (int * int) array;
 }
 
 let size c = c.n_nodes + c.n_branches
@@ -407,6 +410,30 @@ let compile ?(backend = Linear_solver.Auto) circuit =
     devices;
     zero_caps;
     zero_inds;
+    solver;
+    program;
+    rhs = Array.make n 0.0;
+    stats =
+      fresh_stats ~backend:solver.Linear_solver.backend_name ~unknowns:n
+        ~nonzeros:solver.Linear_solver.nnz;
+    sym_backend = backend;
+    sym_pattern = pattern;
+  }
+
+(* A second numeric workspace over the same symbolic compilation: the
+   netlist, node tables, device array and recorded pattern are shared
+   (immutable after compile); the solver instance, slot program, rhs and
+   stats are fresh, so a clone can run Newton concurrently with the
+   original on another domain.  Fold the clone's [stats] back with
+   {!add_stats} if a combined report is wanted. *)
+let clone c =
+  let n = size c in
+  let solver = Linear_solver.make c.sym_backend n c.sym_pattern in
+  let program =
+    Array.map (fun (i, j) -> solver.Linear_solver.slot i j) c.sym_pattern
+  in
+  {
+    c with
     solver;
     program;
     rhs = Array.make n 0.0;

@@ -54,6 +54,13 @@ val compile : ?backend:Linear_solver.backend -> Circuit.t -> compiled
     are allocated here, once.  [backend] defaults to
     [Linear_solver.Auto]. *)
 
+val clone : compiled -> compiled
+(** A fresh numeric workspace (solver instance, stamp program, rhs,
+    zeroed stats) over the same symbolic compilation — netlist, node
+    tables and device array are shared.  Clones may run {!newton}
+    concurrently on separate domains; fold a clone's {!stats} back with
+    {!add_stats} for a combined report. *)
+
 val size : compiled -> int
 (** Number of unknowns: non-ground nodes plus voltage-source and
     inductor branches. *)

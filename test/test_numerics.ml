@@ -760,6 +760,50 @@ let test_prng_split_differs () =
   let a = Prng.split rng and b = Prng.split rng in
   Alcotest.(check bool) "streams differ" true (Prng.uniform a <> Prng.uniform b)
 
+let test_prng_jump_equals_draws () =
+  (* jumping n is bit-identical to drawing n values and discarding *)
+  List.iter
+    (fun n ->
+      let a = Prng.create ~seed:7L () and b = Prng.create ~seed:7L () in
+      for _ = 1 to n do
+        ignore (Prng.next_int64 a)
+      done;
+      Prng.jump b n;
+      for _ = 1 to 16 do
+        Alcotest.(check int64) "same draw after jump" (Prng.next_int64 a)
+          (Prng.next_int64 b)
+      done)
+    [ 0; 1; 13; 1000 ]
+
+let test_prng_stream_independent_of_others () =
+  (* stream i is identical no matter how many other streams exist, in
+     what order they are created, or how much the others are used *)
+  let draws rng = Array.init 32 (fun _ -> Prng.next_int64 rng) in
+  let base () = Prng.create ~seed:2024L () in
+  let alone = draws (Prng.stream (base ()) 5) in
+  (* create many other streams first, consume them heavily *)
+  let b = base () in
+  List.iter
+    (fun i ->
+      let s = Prng.stream b i in
+      for _ = 1 to 100 do
+        ignore (Prng.uniform s)
+      done)
+    [ 9; 0; 3; 7; 1 ];
+  let crowded = draws (Prng.stream b 5) in
+  Alcotest.(check (array int64)) "stream 5 unchanged by other streams" alone
+    crowded;
+  (* deriving a stream must not mutate the base *)
+  let c = base () in
+  let first = Prng.next_int64 (Prng.stream c 0) in
+  ignore (Prng.stream c 1);
+  Alcotest.(check int64) "base unmutated by stream derivation" first
+    (Prng.next_int64 (Prng.stream c 0));
+  (* distinct indices give distinct draws *)
+  Alcotest.(check bool) "streams 0 and 1 differ" true
+    (Prng.next_int64 (Prng.stream (base ()) 0)
+    <> Prng.next_int64 (Prng.stream (base ()) 1))
+
 
 (* ------------------------------------------------------------------ *)
 (* Complex linear algebra                                              *)
@@ -1098,6 +1142,9 @@ let () =
           tc "uniform moments" test_prng_uniform_moments;
           tc "gaussian moments" test_prng_gaussian_moments;
           tc "split independence" test_prng_split_differs;
+          tc "jump equals discarded draws" test_prng_jump_equals_draws;
+          tc "stream i independent of other streams"
+            test_prng_stream_independent_of_others;
         ] );
       ("properties", qcheck_cases);
     ]

@@ -1,0 +1,366 @@
+(* Tests for the Cnt_par.Pool task pool and for the determinism
+   guarantee the parallel subsystem makes across the stack: the same
+   bytes out at jobs = 1 and jobs = 4, for the pool primitives, DC
+   sweeps, Monte-Carlo variation and multi-corner characterisation. *)
+
+open Cnt_spice
+open Cnt_experiments
+module Pool = Cnt_par.Pool
+
+(* The container may expose a single core; jobs = 4 still spawns four
+   domains and exercises the queues, stealing and merge paths. *)
+let jobs_many = 4
+
+(* ------------------------------------------------------------------ *)
+(* Job-count selection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_jobs_of_string () =
+  (match Pool.jobs_of_string "auto" with
+  | Ok Pool.Auto -> ()
+  | _ -> Alcotest.fail "auto not parsed");
+  (match Pool.jobs_of_string " AUTO " with
+  | Ok Pool.Auto -> ()
+  | _ -> Alcotest.fail "auto should be case/space insensitive");
+  (match Pool.jobs_of_string "4" with
+  | Ok (Pool.Fixed 4) -> ()
+  | _ -> Alcotest.fail "4 not parsed");
+  List.iter
+    (fun s ->
+      match Pool.jobs_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should be rejected" s)
+    [ "0"; "-2"; "nope"; "1.5"; "" ]
+
+let test_resolve () =
+  Alcotest.(check int) "fixed" 3 (Pool.resolve (Pool.Fixed 3));
+  Alcotest.(check bool) "auto >= 1" true (Pool.resolve Pool.Auto >= 1);
+  Alcotest.check_raises "fixed 0 rejected"
+    (Invalid_argument "Pool.resolve: jobs = 0 (must be >= 1)") (fun () ->
+      ignore (Pool.resolve (Pool.Fixed 0)))
+
+let test_create_rejects_bad_jobs () =
+  List.iter
+    (fun j ->
+      match Pool.create ~jobs:j () with
+      | exception Invalid_argument _ -> ()
+      | pool ->
+          Pool.shutdown pool;
+          Alcotest.failf "jobs = %d should be rejected" j)
+    [ 0; -1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool primitives                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_ordering () =
+  let xs = Array.init 103 (fun i -> i) in
+  let expect = Array.map (fun i -> i * i) xs in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let got = Pool.parallel_map pool (fun i -> i * i) xs in
+          Alcotest.(check (array int))
+            (Printf.sprintf "results land by index at jobs=%d" jobs)
+            expect got))
+    [ 1; 2; jobs_many ]
+
+let test_for_ordering () =
+  let n = 97 in
+  List.iter
+    (fun jobs ->
+      let out = Array.make n 0 in
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.parallel_for pool n (fun i -> out.(i) <- (2 * i) + 1));
+      Alcotest.(check (array int))
+        (Printf.sprintf "parallel_for covers every index at jobs=%d" jobs)
+        (Array.init n (fun i -> (2 * i) + 1))
+        out)
+    [ 1; jobs_many ]
+
+let test_chunk_boundaries_fixed () =
+  (* chunk bounds depend only on (n, chunk), never on the job count *)
+  let bounds jobs =
+    let acc = ref [] in
+    let m = Mutex.create () in
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.parallel_for_chunks pool ~chunk:8 30 (fun ~lo ~hi ->
+            Mutex.lock m;
+            acc := (lo, hi) :: !acc;
+            Mutex.unlock m));
+    List.sort compare !acc
+  in
+  Alcotest.(check (list (pair int int)))
+    "same chunks at jobs=1 and jobs=4"
+    [ (0, 8); (8, 16); (16, 24); (24, 30) ]
+    (bounds 1);
+  Alcotest.(check (list (pair int int)))
+    "same chunks at jobs=4"
+    [ (0, 8); (8, 16); (16, 24); (24, 30) ]
+    (bounds jobs_many)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  List.iter
+    (fun jobs ->
+      let ran = Atomic.make 0 in
+      let result =
+        Pool.with_pool ~jobs (fun pool ->
+            match
+              Pool.parallel_for pool ~chunk:1 20 (fun i ->
+                  Atomic.incr ran;
+                  if i = 7 || i = 13 then raise (Boom i))
+            with
+            | () -> `No_raise
+            | exception Boom i -> `Boom i
+            | exception _ -> `Other)
+      in
+      (* all tasks run to completion; the lowest-index failure wins *)
+      Alcotest.(check int)
+        (Printf.sprintf "all tasks ran at jobs=%d" jobs)
+        20 (Atomic.get ran);
+      match result with
+      | `Boom 7 -> ()
+      | `Boom i -> Alcotest.failf "raised Boom %d, wanted lowest index 7" i
+      | `No_raise -> Alcotest.fail "exception swallowed"
+      | `Other -> Alcotest.fail "wrong exception")
+    [ 1; jobs_many ]
+
+let test_nested_use_rejected () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      match
+        Pool.parallel_for pool ~chunk:1 2 (fun _ ->
+            Pool.parallel_for pool ~chunk:1 2 (fun _ -> ()))
+      with
+      | () -> Alcotest.fail "nested parallel region should be rejected"
+      | exception Invalid_argument _ -> ());
+  (* library code degrades instead: in_task reports task context *)
+  Alcotest.(check bool) "not in task outside pool" false (Pool.in_task ());
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let seen = Array.make 2 false in
+      Pool.parallel_for pool ~chunk:1 2 (fun i -> seen.(i) <- Pool.in_task ());
+      Alcotest.(check (array bool)) "in_task true inside tasks" [| true; true |]
+        seen)
+
+let test_shutdown () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.parallel_for pool 4 (fun _ -> ());
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  (match Pool.parallel_for pool 4 (fun _ -> ()) with
+  | () -> Alcotest.fail "operations after shutdown should be rejected"
+  | exception Invalid_argument _ -> ());
+  (* a fresh pool still works after another one was shut down *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check int) "jobs" 2 (Pool.jobs pool))
+
+let test_current_slot () =
+  Alcotest.(check int) "slot 0 outside any pool" 0 (Pool.current_slot ());
+  Pool.with_pool ~jobs:jobs_many (fun pool ->
+      let slots = Array.make 64 (-1) in
+      Pool.parallel_for pool ~chunk:1 64 (fun i ->
+          slots.(i) <- Pool.current_slot ());
+      Array.iter
+        (fun s ->
+          Alcotest.(check bool) "slot in range" true (s >= 0 && s < jobs_many))
+        slots)
+
+let test_empty_and_singleton () =
+  Pool.with_pool ~jobs:jobs_many (fun pool ->
+      Alcotest.(check (array int)) "empty map" [||]
+        (Pool.parallel_map pool (fun i -> i) [||]);
+      Alcotest.(check (array int)) "singleton map" [| 42 |]
+        (Pool.parallel_map pool (fun i -> i * 2) [| 21 |]);
+      Pool.parallel_for pool 0 (fun _ -> Alcotest.fail "no task for n = 0"))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-stack determinism: jobs = 1 vs jobs = 4                       *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_deck =
+  String.concat "\n"
+    [
+      "* parallel sweep determinism";
+      "vdd vdd 0 0.6";
+      "vin in 0 0.3";
+      "m1 out in 0 cnfet";
+      "rload vdd out 20k";
+      ".dc vin 0 0.6 0.01";
+      ".print v(out) i(vdd)";
+      ".end";
+    ]
+
+let test_dc_sweep_identical () =
+  let run jobs =
+    let deck = Parser.parse sweep_deck in
+    Engine.run_deck ~jobs deck
+  in
+  let t1 = run 1 and t4 = run jobs_many in
+  List.iter2
+    (fun (a : Engine.table) (b : Engine.table) ->
+      Alcotest.(check (array string)) "columns" a.columns b.columns;
+      Alcotest.(check int) "row count" (Array.length a.rows)
+        (Array.length b.rows);
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun j v ->
+              if not (Int64.equal (Int64.bits_of_float v)
+                        (Int64.bits_of_float b.rows.(i).(j)))
+              then
+                Alcotest.failf "row %d col %d: %.17g <> %.17g at jobs=%d" i j v
+                  b.rows.(i).(j) jobs_many)
+            row)
+        a.rows;
+      (* deterministic work counters, not just results *)
+      Alcotest.(check int) "newton iterations"
+        a.stats.Mna.newton_iterations b.stats.Mna.newton_iterations;
+      Alcotest.(check int) "device evals" a.stats.Mna.device_evals
+        b.stats.Mna.device_evals)
+    t1 t4
+
+let test_variation_identical () =
+  let config =
+    { Variation.default_config with Variation.count = 24; seed = 7L }
+  in
+  let a = Variation.run ~config ~jobs:1 () in
+  let b = Variation.run ~config ~jobs:jobs_many () in
+  Alcotest.(check int) "sample count" (Array.length a.Variation.samples)
+    (Array.length b.Variation.samples);
+  Array.iteri
+    (fun i x ->
+      if
+        not
+          (Int64.equal (Int64.bits_of_float x)
+             (Int64.bits_of_float b.Variation.samples.(i)))
+      then
+        Alcotest.failf "sample %d: %.17g <> %.17g" i x
+          b.Variation.samples.(i))
+    a.Variation.samples;
+  Alcotest.(check bool) "sigma identical" true
+    (a.Variation.sigma = b.Variation.sigma)
+
+let cell_family = lazy (Stdcells.family ())
+
+let test_characterization_identical () =
+  let f = Lazy.force cell_family in
+  let corners =
+    Characterize.corner_grid ~edge_times:[ 20e-12; 40e-12 ] [ 0.5; 0.6 ]
+  in
+  let build ~input ~output =
+    Stdcells.inverter f ~prefix:"u0" ~input ~output ~vdd_node:"vdd"
+  in
+  let run jobs =
+    Characterize.characterize_corners ~jobs ~vdd_name:"vdd" ~build corners
+  in
+  let a = run 1 and b = run jobs_many in
+  Alcotest.(check int) "corner count" (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i (ca, ta) ->
+      let cb, tb = b.(i) in
+      Alcotest.(check string) "corner order" ca.Characterize.corner_label
+        cb.Characterize.corner_label;
+      List.iter
+        (fun (name, va, vb) ->
+          if not (Int64.equal (Int64.bits_of_float va) (Int64.bits_of_float vb))
+          then
+            Alcotest.failf "corner %s %s: %.17g <> %.17g"
+              ca.Characterize.corner_label name va vb)
+        [
+          ("tphl", ta.Characterize.tphl, tb.Characterize.tphl);
+          ("tplh", ta.Characterize.tplh, tb.Characterize.tplh);
+          ("t_fall", ta.Characterize.t_fall, tb.Characterize.t_fall);
+          ("t_rise", ta.Characterize.t_rise, tb.Characterize.t_rise);
+          ("energy", ta.Characterize.energy, tb.Characterize.energy);
+        ])
+    a
+
+let test_rms_table_identical () =
+  (* a reduced grid keeps this quick while exercising both stages *)
+  let run jobs =
+    Rms_tables.compute ~temps:[ 250.0; 300.0 ] ~vgs_list:[ 0.4; 0.6 ] ~jobs
+      (-0.32)
+  in
+  let a = run 1 and b = run jobs_many in
+  Alcotest.(check int) "cell count"
+    (List.length a.Rms_tables.cells)
+    (List.length b.Rms_tables.cells);
+  List.iter2
+    (fun (ca : Rms_tables.cell) (cb : Rms_tables.cell) ->
+      Alcotest.(check bool) "same cell coordinates" true
+        (ca.Rms_tables.vgs = cb.Rms_tables.vgs
+        && ca.Rms_tables.temp = cb.Rms_tables.temp);
+      Alcotest.(check bool) "identical errors" true
+        (ca.Rms_tables.model1_error = cb.Rms_tables.model1_error
+        && ca.Rms_tables.model2_error = cb.Rms_tables.model2_error))
+    a.Rms_tables.cells b.Rms_tables.cells
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry under parallelism                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_obs_counters_merge_across_domains () =
+  let module Obs = Cnt_obs.Obs in
+  Obs.disable ();
+  Obs.reset ();
+  Obs.enable ();
+  let c = Obs.counter "test_parallel.task_counter" in
+  let h = Obs.histogram "test_parallel.task_hist" in
+  let before = Obs.value c in
+  Pool.with_pool ~jobs:jobs_many (fun pool ->
+      Pool.parallel_for pool ~chunk:1 40 (fun i ->
+          Obs.incr c;
+          Obs.observe h (float_of_int i)));
+  Alcotest.(check int) "counter totals across domains" (before + 40)
+    (Obs.value c);
+  Alcotest.(check int) "histogram union across domains" 40
+    (Obs.histogram_count h);
+  (* quantiles over the union of all per-domain samples *)
+  Alcotest.(check bool) "median over union" true
+    (Float.abs (Obs.quantile h 0.5 -. 19.5) < 1e-9);
+  (* spans recorded in tasks keep their logical nesting *)
+  Obs.reset ();
+  Obs.span "outer" (fun () ->
+      Pool.with_pool ~jobs:jobs_many (fun pool ->
+          Pool.parallel_for pool ~chunk:1 8 (fun _ ->
+              Obs.span "inner" (fun () -> ()))));
+  let paths =
+    List.map (fun e -> e.Obs.ev_path) (Obs.events ()) |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "worker spans nest under the caller's span"
+    [ "outer"; "outer/inner" ] paths;
+  Obs.disable ();
+  Obs.reset ()
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "cnt_par"
+    [
+      ( "jobs",
+        [
+          tc "jobs_of_string" test_jobs_of_string;
+          tc "resolve" test_resolve;
+          tc "create rejects bad jobs" test_create_rejects_bad_jobs;
+        ] );
+      ( "pool",
+        [
+          tc "map ordering" test_map_ordering;
+          tc "for ordering" test_for_ordering;
+          tc "chunk boundaries fixed" test_chunk_boundaries_fixed;
+          tc "exception propagation" test_exception_propagation;
+          tc "nested use rejected" test_nested_use_rejected;
+          tc "shutdown" test_shutdown;
+          tc "current slot" test_current_slot;
+          tc "empty and singleton" test_empty_and_singleton;
+        ] );
+      ( "determinism",
+        [
+          tc "dc sweep identical at jobs=1 and jobs=4" test_dc_sweep_identical;
+          tc "variation identical" test_variation_identical;
+          tc "characterization identical" test_characterization_identical;
+          tc "rms table identical" test_rms_table_identical;
+        ] );
+      ( "telemetry",
+        [ tc "obs merge across domains" test_obs_counters_merge_across_domains ] );
+    ]
