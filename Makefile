@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test check bench obs-smoke obs-bench par-check par-bench repro clean
+.PHONY: all build test check bench obs-smoke obs-bench par-check par-bench conv-check conv-smoke conv-bench repro clean
 
 all: build
 
@@ -34,6 +34,21 @@ par-check:
 par-bench:
 	dune exec bench/main.exe -- parallel-json > results/BENCH_parallel.json
 	@tail -n +2 results/BENCH_parallel.json | head -n 5
+
+# Convergence gate: the fault-injection suite at both pool widths (see
+# docs/CONVERGENCE.md).
+conv-check:
+	CNT_JOBS=1 dune exec test/test_convergence.exe
+	CNT_JOBS=4 dune exec test/test_convergence.exe
+
+# Quick ladder-overhead smoke run (2 repeats; prints JSON to stdout).
+conv-smoke:
+	@dune exec bench/main.exe -- convergence-json --smoke
+
+# Full ladder-overhead benchmark; refreshes the committed artefact.
+conv-bench:
+	dune exec bench/main.exe -- convergence-json > results/BENCH_convergence.json
+	@tail -n +2 results/BENCH_convergence.json | head -n 5
 
 repro:
 	dune exec bin/repro.exe -- all

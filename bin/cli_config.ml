@@ -1,0 +1,80 @@
+(* The shared engine-configuration term: one cmdliner term that yields
+   a {!Cnt_spice.Engine.config}, so cspice, repro and cnt_char expose
+   the same solver/convergence knobs with the same spellings instead of
+   each threading its own [?backend ?jobs ?gmin] arguments. *)
+
+open Cmdliner
+
+let backend_conv =
+  Arg.enum
+    [
+      ("auto", Cnt_numerics.Linear_solver.Auto);
+      ("dense", Cnt_numerics.Linear_solver.Dense_backend);
+      ("sparse", Cnt_numerics.Linear_solver.Sparse_backend);
+    ]
+
+let solver_arg =
+  let doc =
+    "Linear-solver backend: $(b,auto) (sparse at 25+ unknowns), $(b,dense) or \
+     $(b,sparse)."
+  in
+  Arg.(
+    value
+    & opt backend_conv Cnt_numerics.Linear_solver.Auto
+    & info [ "solver" ] ~docv:"BACKEND" ~doc)
+
+let gmin_arg =
+  let doc = "Target minimum node-to-ground conductance, siemens." in
+  Arg.(value & opt float 1e-12 & info [ "gmin" ] ~docv:"G" ~doc)
+
+let tol_arg =
+  let doc = "Newton convergence tolerance (relative voltage update)." in
+  Arg.(value & opt float 1e-9 & info [ "tol" ] ~docv:"TOL" ~doc)
+
+let max_iter_arg =
+  let doc = "Newton iteration budget per solve attempt." in
+  Arg.(value & opt int 200 & info [ "max-iter" ] ~docv:"N" ~doc)
+
+let no_homotopy_arg =
+  let doc =
+    "Disable the convergence ladder: solve with plain Newton only, failing \
+     immediately instead of escalating through damped Newton, gmin stepping \
+     and source stepping.  See docs/CONVERGENCE.md."
+  in
+  Arg.(value & flag & info [ "no-homotopy" ] ~doc)
+
+let gmin_start_arg =
+  let doc = "Starting gmin of the ladder's gmin-stepping ramp." in
+  Arg.(value & opt float 1e-3 & info [ "gmin-start" ] ~docv:"G" ~doc)
+
+let gmin_steps_arg =
+  let doc = "Points in the geometric gmin ramp." in
+  Arg.(value & opt int 10 & info [ "gmin-steps" ] ~docv:"N" ~doc)
+
+let source_steps_arg =
+  let doc = "Points in the source-stepping ramp." in
+  Arg.(value & opt int 20 & info [ "source-steps" ] ~docv:"N" ~doc)
+
+let make solver jobs gmin tol max_iter no_homotopy gmin_start gmin_steps
+    source_steps =
+  {
+    Cnt_spice.Engine.backend = solver;
+    jobs;
+    gmin;
+    tol;
+    max_iter;
+    homotopy =
+      (if no_homotopy then Cnt_spice.Homotopy.plain_only
+       else
+         {
+           Cnt_spice.Homotopy.default with
+           gmin_start;
+           gmin_steps;
+           source_steps;
+         });
+  }
+
+let term =
+  Term.(
+    const make $ solver_arg $ Cli_jobs.arg $ gmin_arg $ tol_arg $ max_iter_arg
+    $ no_homotopy_arg $ gmin_start_arg $ gmin_steps_arg $ source_steps_arg)

@@ -30,7 +30,8 @@ let eval_model which device ~optimise =
       fun ~vgs ~vds -> Table_model.ids m ~vgs ~vds
 
 let run which temp fermi diameter tox vgs_csv vds_max points format optimise
-    compare profile jobs =
+    compare profile config =
+  let jobs = config.Cnt_spice.Engine.jobs in
   if profile then Cnt_obs.Obs.enable ();
   let device =
     Device.create ~temp ~fermi ~diameter:(diameter *. 1e-9)
@@ -148,6 +149,6 @@ let cmd =
     Term.(
       const run $ which_arg $ temp_arg $ fermi_arg $ diameter_arg $ tox_arg
       $ vgs_arg $ vds_max_arg $ points_arg $ format_arg $ optimise_arg
-      $ compare_arg $ profile_arg $ Cnt_cli.Cli_jobs.arg)
+      $ compare_arg $ profile_arg $ Cnt_cli.Cli_config.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -35,45 +35,72 @@ let print_profile () =
   print_string (Cnt_obs.Report.render_profile ());
   print_latency_histograms ()
 
-let run csv_dir max_rows stats profile trace solver jobs path =
+(* Exit-code contract (docs/CONVERGENCE.md): 0 success, 2 parse or
+   usage error, 3 convergence failure (the strategy trail is printed to
+   stderr), 4 internal error. *)
+let exit_ok = 0
+let exit_usage = 2
+let exit_internal = 4
+
+let finish_telemetry ~profile ~trace =
+  if profile then print_profile ();
+  match trace with
+  | None -> ()
+  | Some out ->
+      Cnt_obs.Trace.write out;
+      Printf.printf "wrote Chrome trace %s (load in chrome://tracing)\n" out
+
+let run csv_dir max_rows stats profile trace config path =
   if profile || trace <> None then Cnt_obs.Obs.enable ();
-  let text =
+  match
     let ic = open_in path in
     let n = in_channel_length ic in
     let s = really_input_string ic n in
     close_in ic;
     s
-  in
-  match Cnt_spice.Parser.parse text with
-  | exception Cnt_spice.Parser.Parse_error msg ->
-      prerr_endline ("parse error: " ^ msg);
-      1
-  | deck ->
-      Printf.printf "* title: %s\n" deck.Cnt_spice.Parser.title;
-      let tables = Cnt_spice.Engine.run_deck ~backend:solver ?jobs deck in
-      if tables = [] then
-        prerr_endline "warning: netlist contains no analysis directive (.op/.dc/.tran)";
-      List.iteri
-        (fun i t ->
-          Format.printf "%a@." (Cnt_spice.Engine.pp_table ~max_rows ~stats) t;
-          match csv_dir with
-          | None -> ()
-          | Some dir ->
-              if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-              let base = Filename.remove_extension (Filename.basename path) in
-              let out = Filename.concat dir (Printf.sprintf "%s_%d.csv" base i) in
-              let oc = open_out out in
-              output_string oc (Cnt_spice.Engine.table_to_csv t);
-              close_out oc;
-              Printf.printf "saved %s\n" out)
-        tables;
-      if profile then print_profile ();
-      (match trace with
-      | None -> ()
-      | Some out ->
-          Cnt_obs.Trace.write out;
-          Printf.printf "wrote Chrome trace %s (load in chrome://tracing)\n" out);
-      0
+  with
+  | exception Sys_error msg ->
+      prerr_endline msg;
+      exit_usage
+  | text -> (
+      match Cnt_spice.Parser.parse text with
+      | exception Cnt_spice.Parser.Parse_error msg ->
+          prerr_endline ("parse error: " ^ msg);
+          exit_usage
+      | deck -> (
+          Printf.printf "* title: %s\n" deck.Cnt_spice.Parser.title;
+          match Cnt_spice.Engine.run_deck_result ~config deck with
+          | Error err ->
+              prerr_endline (Cnt_spice.Diag.error_message err);
+              finish_telemetry ~profile ~trace;
+              Cnt_spice.Diag.exit_code err
+          | Ok tables ->
+              if tables = [] then
+                prerr_endline
+                  "warning: netlist contains no analysis directive \
+                   (.op/.dc/.tran)";
+              List.iteri
+                (fun i t ->
+                  Format.printf "%a@."
+                    (Cnt_spice.Engine.pp_table ~max_rows ~stats)
+                    t;
+                  match csv_dir with
+                  | None -> ()
+                  | Some dir ->
+                      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                      let base =
+                        Filename.remove_extension (Filename.basename path)
+                      in
+                      let out =
+                        Filename.concat dir (Printf.sprintf "%s_%d.csv" base i)
+                      in
+                      let oc = open_out out in
+                      output_string oc (Cnt_spice.Engine.table_to_csv t);
+                      close_out oc;
+                      Printf.printf "saved %s\n" out)
+                tables;
+              finish_telemetry ~profile ~trace;
+              exit_ok))
 
 let csv_arg =
   let doc = "Also write each analysis result as CSV under $(docv)." in
@@ -101,31 +128,32 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-let solver_arg =
-  let doc =
-    "Linear-solver backend: $(b,auto) (sparse at 25+ unknowns), $(b,dense) or \
-     $(b,sparse)."
-  in
-  let backend_conv =
-    Arg.enum
-      [
-        ("auto", Cnt_numerics.Linear_solver.Auto);
-        ("dense", Cnt_numerics.Linear_solver.Dense_backend);
-        ("sparse", Cnt_numerics.Linear_solver.Sparse_backend);
-      ]
-  in
-  Arg.(value
-      & opt backend_conv Cnt_numerics.Linear_solver.Auto
-      & info [ "solver" ] ~docv:"BACKEND" ~doc)
-
 let path_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc:"Netlist file.")
 
 let cmd =
   let doc = "SPICE-like circuit simulator with ballistic CNFET devices" in
-  Cmd.v (Cmd.info "cspice" ~doc)
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on success.";
+      Cmd.Exit.info 2 ~doc:"on a netlist parse error, bad deck or usage error.";
+      Cmd.Exit.info 3
+        ~doc:
+          "on a convergence failure (the strategy trail of the homotopy \
+           ladder is printed to standard error).";
+      Cmd.Exit.info 4 ~doc:"on an unexpected internal error.";
+    ]
+  in
+  Cmd.v (Cmd.info "cspice" ~doc ~exits)
     Term.(
       const run $ csv_arg $ rows_arg $ stats_arg $ profile_arg $ trace_arg
-      $ solver_arg $ Cnt_cli.Cli_jobs.arg $ path_arg)
+      $ Cnt_cli.Cli_config.term $ path_arg)
 
-let () = exit (Cmd.eval' cmd)
+(* cmdliner reports its own CLI / internal failures as 124 / 125; fold
+   them into the documented 2 / 4 contract. *)
+let () =
+  exit
+    (match Cmd.eval' cmd with
+    | 124 -> exit_usage
+    | 125 -> exit_internal
+    | n -> n)

@@ -6,7 +6,8 @@
 
 open Cmdliner
 
-let run_repro list_only quiet profile dir jobs ids =
+let run_repro list_only quiet profile dir config ids =
+  let jobs = config.Cnt_spice.Engine.jobs in
   if list_only then begin
     List.iter print_endline Cnt_experiments.Repro.experiment_ids;
     0
@@ -62,6 +63,6 @@ let cmd =
     (Cmd.info "repro" ~doc)
     Term.(
       const run_repro $ list_arg $ quiet_arg $ profile_arg $ dir_arg
-      $ Cnt_cli.Cli_jobs.arg $ ids_arg)
+      $ Cnt_cli.Cli_config.term $ ids_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -31,6 +31,18 @@ let c_quadratic = Obs.counter "scv.root_quadratic"
 let c_cubic = Obs.counter "scv.root_cardano"
 let c_fallback = Obs.counter "scv.fallback_bisection"
 
+(* Always-on process-wide count of bisection rescues.  Unlike the Obs
+   counter above it ticks even with telemetry disabled, so convergence
+   diagnostics (Cnt_spice strategy trails) can report how many device
+   evaluations degenerated during a solve attempt.  Atomic because
+   device models are evaluated from pool worker domains; under a
+   parallel sweep a delta taken around one solve attempt may therefore
+   include rescues from concurrent attempts — treat it as an engine-wide
+   health signal, not a per-attempt exact count. *)
+let fallback_total = Atomic.make 0
+
+let fallback_events () = Atomic.get fallback_total
+
 type stats = {
   vsc : float;
   interval : float * float; (* bracketing interval (may be infinite) *)
@@ -134,6 +146,7 @@ let solve_stats t ~qt ~vds =
       (* defensive fallback: bisection on a finite cover of the interval;
          not reached for well-formed monotone charge fits *)
       Obs.incr c_fallback;
+      Atomic.incr fallback_total;
       let flo = if Float.is_finite lo then lo else hi -. 10.0 in
       let fhi = if Float.is_finite hi then hi else lo +. 10.0 in
       let r = Rootfind.bisect ~tol:1e-13 (residual t ~qt ~vds) flo fhi in

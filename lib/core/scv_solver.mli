@@ -39,3 +39,11 @@ val solve_stats : t -> qt:float -> vds:float -> stats
 val solve : t -> qt:float -> vds:float -> float
 (** The self-consistent voltage for terminal charge [qt] (C/m) and
     drain bias [vds] (V). *)
+
+val fallback_events : unit -> int
+(** Process-wide count of bisection rescues since program start,
+    monotonic and always on (independent of [Cnt_obs] being enabled).
+    Circuit-level convergence diagnostics snapshot it around a solve
+    attempt to report degenerate device evaluations in their strategy
+    trail.  Under parallel analyses the delta around one attempt may
+    include rescues from concurrent attempts on other domains. *)

@@ -17,6 +17,7 @@ module type S = sig
   val add_slot : t -> int -> float -> unit
   val add_to : t -> int -> int -> float -> unit
   val residual : t -> float array -> float array -> float
+  val residual_argmax : t -> float array -> float array -> int * float
   val solve : t -> float array -> float array
 end
 
@@ -69,6 +70,23 @@ module Dense : S = struct
     done;
     !worst
 
+  let residual_argmax t x b =
+    let worst = ref 0.0 and row = ref 0 in
+    for i = 0 to t.n - 1 do
+      let acc = ref (-.b.(i)) in
+      for j = 0 to t.n - 1 do
+        acc := !acc +. (Linalg.Mat.get t.a i j *. x.(j))
+      done;
+      let r = Float.abs !acc in
+      (* the first NaN row wins and stays: plain [>] is false for NaN *)
+      if (not (Float.is_nan !worst)) && (r > !worst || Float.is_nan r)
+      then begin
+        worst := r;
+        row := i
+      end
+    done;
+    (!row, !worst)
+
   let solve t b =
     try
       Linalg.lu_factor_into ~src:t.a ~dst:t.scratch t.perm;
@@ -98,6 +116,20 @@ module Sparse_lu : S = struct
   let add_to t i j v = Sparse.add_to t.m i j v
   let residual t x b = Sparse.residual_inf t.m x b
 
+  let residual_argmax t x b =
+    let ax = Sparse.mul_vec t.m x in
+    let worst = ref 0.0 and row = ref 0 in
+    Array.iteri
+      (fun i v ->
+        let r = Float.abs (v -. b.(i)) in
+        if (not (Float.is_nan !worst)) && (r > !worst || Float.is_nan r)
+        then begin
+          worst := r;
+          row := i
+        end)
+      ax;
+    (!row, !worst)
+
   let solve t b =
     try
       Sparse.refactor t.lu t.m;
@@ -121,6 +153,7 @@ type instance = {
   add_slot : int -> float -> unit;
   add_to : int -> int -> float -> unit;
   residual : float array -> float array -> float;
+  residual_argmax : float array -> float array -> int * float;
   solve : float array -> float array;
 }
 
@@ -135,6 +168,7 @@ let instantiate (module B : S) n pattern =
     add_slot = B.add_slot t;
     add_to = B.add_to t;
     residual = B.residual t;
+    residual_argmax = B.residual_argmax t;
     solve = B.solve t;
   }
 

@@ -44,6 +44,12 @@ module type S = sig
   val residual : t -> float array -> float array -> float
   (** [residual m x b] is [||m x - b||_inf] at the current values. *)
 
+  val residual_argmax : t -> float array -> float array -> int * float
+  (** [residual_argmax m x b] is the row index carrying the largest
+      per-row residual [|m x - b|_i] together with that residual (a row
+      whose residual is NaN wins outright).  Diagnostics only — the
+      common norm path is {!residual}. *)
+
   val solve : t -> float array -> float array
   (** Factor the current values and solve.  Raises {!Singular}. *)
 end
@@ -77,6 +83,7 @@ type instance = {
   add_slot : int -> float -> unit;
   add_to : int -> int -> float -> unit;
   residual : float array -> float array -> float;
+  residual_argmax : float array -> float array -> int * float;
   solve : float array -> float array;
 }
 

@@ -20,7 +20,16 @@ val decade_frequencies :
   start:float -> stop:float -> per_decade:int -> float array
 (** Logarithmic frequency grid. *)
 
-val run : ?gmin:float -> Circuit.t -> freqs:float array -> result
+val run :
+  ?gmin:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?policy:Homotopy.policy ->
+  Circuit.t ->
+  freqs:float array ->
+  result
+(** The operating-point solve runs through the {!Homotopy} ladder; its
+    {!Diag.Convergence_failure} carries [analysis = "ac"]. *)
 
 val voltage : result -> string -> Complex.t array
 (** Node-voltage phasor across the sweep. *)

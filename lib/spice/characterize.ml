@@ -50,7 +50,7 @@ let supply_energy result ~vdd_name ~vdd ~t0 ~t1 =
    cell elements (e.g. a Stdcells.inverter application).  The stimulus
    is a full-swing pulse: rise at [t_edge], fall at [t_edge + width]. *)
 let inverting_cell ?(vdd = 0.6) ?(t_edge = 1e-9) ?(width = 4e-9)
-    ?(edge_time = 20e-12) ?(tstep = 5e-12) ~vdd_name ~build () =
+    ?(edge_time = 20e-12) ?(tstep = 5e-12) ?policy ~vdd_name ~build () =
   let input = "char_in" and output = "char_out" in
   let stimulus =
     Circuit.vsource "vchar_in" input "0"
@@ -62,7 +62,7 @@ let inverting_cell ?(vdd = 0.6) ?(t_edge = 1e-9) ?(width = 4e-9)
       (Circuit.vdc vdd_name vdd_name "0" vdd :: stimulus :: build ~input ~output)
   in
   let tstop = t_edge +. (2.0 *. width) in
-  let result = Transient.run circuit ~tstep ~tstop in
+  let result = Transient.run ?policy circuit ~tstep ~tstop in
   let half = 0.5 *. vdd in
   let lo = 0.1 *. vdd and hi = 0.9 *. vdd in
   let in_rise = Transient.crossing_times ~rising:true result input half in
@@ -144,7 +144,8 @@ let corner_grid ?(edge_times = [ 20e-12 ]) vdds =
 (* Each corner is an independent transient run over its own circuit, so
    corners fan out across a pool with no shared mutable state; results
    land by corner index regardless of scheduling. *)
-let characterize_corners ?jobs ?t_edge ?width ?tstep ~vdd_name ~build corners =
+let characterize_corners ?jobs ?t_edge ?width ?tstep ?policy ~vdd_name ~build
+    corners =
   let module Pool = Cnt_par.Pool in
   let jobs =
     if Pool.in_task () then 1
@@ -156,5 +157,5 @@ let characterize_corners ?jobs ?t_edge ?width ?tstep ~vdd_name ~build corners =
         (fun c ->
           ( c,
             inverting_cell ~vdd:c.corner_vdd ~edge_time:c.corner_edge_time
-              ?t_edge ?width ?tstep ~vdd_name ~build () ))
+              ?t_edge ?width ?tstep ?policy ~vdd_name ~build () ))
         corners)

@@ -19,14 +19,17 @@ val inverting_cell :
   ?width:float ->
   ?edge_time:float ->
   ?tstep:float ->
+  ?policy:Homotopy.policy ->
   vdd_name:string ->
   build:(input:string -> output:string -> Circuit.element list) ->
   unit ->
   timing
 (** Drive an inverting cell (built by [build] between the given input
     and output nodes) with one full pulse and extract its timing and
-    energy.  Raises {!Characterisation_error} if the output never
-    switches. *)
+    energy.  [policy] is the convergence-ladder policy handed to
+    {!Transient.run}.  Raises {!Characterisation_error} if the output
+    never switches and {!Diag.Convergence_failure} if the transient
+    cannot converge. *)
 
 val to_string : timing -> string
 
@@ -49,6 +52,7 @@ val characterize_corners :
   ?t_edge:float ->
   ?width:float ->
   ?tstep:float ->
+  ?policy:Homotopy.policy ->
   vdd_name:string ->
   build:(input:string -> output:string -> Circuit.element list) ->
   corner list ->

@@ -25,37 +25,46 @@ let names_equal a b =
   in
   go 0
 
-(* Operating point with a gmin/source-stepping fallback: if the plain
-   Newton solve fails, ramp all independent sources from zero to full
-   value, reusing each solution as the next starting guess. *)
-let solve_op ?(gmin = 1e-12) compiled ~eval_wave =
+(* Operating point through the {!Homotopy} convergence ladder: plain
+   Newton first (the unchanged fast path), then — under the default
+   policy — damped Newton, gmin stepping, source stepping and combined
+   gmin+source continuation.  A full-ladder failure raises
+   {!Diag.Convergence_failure} carrying the strategy trail. *)
+let solve_op ?(gmin = 1e-12) ?tol ?max_iter ?policy ?(analysis = "op")
+    ?sweep_var ?sweep_point compiled ~eval_wave =
   let x0 = Array.make (Mna.size compiled) 0.0 in
-  let solve ~scale x_start =
-    Mna.newton ~gmin compiled
-      ~eval_wave:(fun name w -> scale *. eval_wave name w)
-      ~cap:Mna.Open_circuit x_start
-  in
-  try solve ~scale:1.0 x0
-  with Mna.No_convergence _ ->
-    (* source stepping *)
-    Obs.incr c_source_stepping;
-    let steps = 20 in
-    let x = ref x0 in
-    for k = 1 to steps do
-      let scale = float_of_int k /. float_of_int steps in
-      x := solve ~scale !x
-    done;
-    !x
+  Fault.set_point sweep_point;
+  match
+    Homotopy.solve ~gmin ?tol ?max_iter ?policy compiled ~eval_wave
+      ~cap:Mna.Open_circuit x0
+  with
+  | Ok (x, trail) ->
+      if
+        List.exists
+          (fun (a : Diag.attempt) -> a.rung = Diag.Source_stepping)
+          trail
+      then Obs.incr c_source_stepping;
+      x
+  | Error trail ->
+      raise
+        (Diag.Convergence_failure
+           (Diag.of_trail ~analysis ?sweep_var ?sweep_point trail))
 
-let operating_point ?(gmin = 1e-12) ?backend circuit =
+let operating_point ?(gmin = 1e-12) ?tol ?max_iter ?policy ?backend
+    ?(analysis = "op") circuit =
   Obs.span "dc.operating_point" @@ fun () ->
   let compiled = Mna.compile ?backend circuit in
-  { compiled; solution = solve_op ~gmin compiled ~eval_wave:dc_wave }
+  {
+    compiled;
+    solution =
+      solve_op ~gmin ?tol ?max_iter ?policy ~analysis compiled
+        ~eval_wave:dc_wave;
+  }
 
 (* Operating point of an already-compiled circuit, sharing its solver
    workspace and telemetry (used by transient to seed t = 0). *)
-let solve_compiled ?(gmin = 1e-12) compiled =
-  solve_op ~gmin compiled ~eval_wave:dc_wave
+let solve_compiled ?(gmin = 1e-12) ?tol ?max_iter ?policy ?analysis compiled =
+  solve_op ~gmin ?tol ?max_iter ?policy ?analysis compiled ~eval_wave:dc_wave
 
 let voltage r name = Mna.voltage r.compiled r.solution name
 let current r vname = Mna.vsource_current r.compiled r.solution vname
@@ -113,7 +122,8 @@ let sweep_chunk = 8
    domain refills its own {!Mna.clone} workspace (slot 0 reuses the
    main one) and clone telemetry is folded back in slot order, keeping
    both the results and the reported stats independent of [jobs]. *)
-let sweep ?(gmin = 1e-12) ?backend ?jobs circuit ~source ~start ~stop ~step =
+let sweep ?(gmin = 1e-12) ?tol ?max_iter ?policy ?backend ?jobs circuit ~source
+    ~start ~stop ~step =
   Obs.span "dc.sweep" @@ fun () ->
   let n = sweep_point_count ~start ~stop ~step in
   Obs.incr ~by:n c_sweep_points;
@@ -155,21 +165,27 @@ let sweep ?(gmin = 1e-12) ?backend ?jobs circuit ~source ~start ~stop ~step =
             if names_equal name source then !swept else Waveform.dc_value w
           in
           let prev = ref None in
+          let ladder () =
+            solve_op ~gmin ?tol ?max_iter ?policy ~analysis:"dc"
+              ~sweep_var:source ~sweep_point:!swept c ~eval_wave
+          in
           for i = lo to hi - 1 do
             swept := values.(i);
+            Fault.set_point (Some !swept);
             let solution =
               match !prev with
               | Some p -> begin
                   try
-                    Mna.newton ~gmin c ~eval_wave ~cap:Mna.Open_circuit
-                      (Array.copy p)
-                  with Mna.No_convergence _ -> solve_op ~gmin c ~eval_wave
+                    Mna.newton ~gmin ?tol ?max_iter c ~eval_wave
+                      ~cap:Mna.Open_circuit (Array.copy p)
+                  with Mna.No_convergence _ -> ladder ()
                 end
-              | None -> solve_op ~gmin c ~eval_wave
+              | None -> ladder ()
             in
             solutions.(i) <- solution;
             prev := Some solution
-          done);
+          done;
+          Fault.set_point None);
       Array.iteri
         (fun slot ws ->
           if slot > 0 then

@@ -1,5 +1,10 @@
-(** DC analyses: nonlinear operating point (with source-stepping
-    fallback) and DC sweeps of a voltage source. *)
+(** DC analyses: nonlinear operating point and DC sweeps of a voltage
+    source, both solved through the {!Homotopy} convergence ladder.
+
+    A solve the full ladder cannot rescue raises
+    {!Diag.Convergence_failure} with the complete strategy trail;
+    {!Analysis_error} is reserved for deck-level semantic errors
+    (unknown source names). *)
 
 exception Analysis_error of string
 
@@ -9,7 +14,17 @@ type op_result = {
 }
 
 val operating_point :
-  ?gmin:float -> ?backend:Cnt_numerics.Linear_solver.backend -> Circuit.t -> op_result
+  ?gmin:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?policy:Homotopy.policy ->
+  ?backend:Cnt_numerics.Linear_solver.backend ->
+  ?analysis:string ->
+  Circuit.t ->
+  op_result
+(** Nonlinear operating point via {!Homotopy.solve} (default policy:
+    {!Homotopy.default}).  [analysis] labels any resulting
+    {!Diag.Convergence_failure} (default ["op"]; AC passes ["ac"]). *)
 
 val voltage : op_result -> string -> float
 val current : op_result -> string -> float
@@ -18,10 +33,17 @@ val current : op_result -> string -> float
 val stats : op_result -> Mna.stats
 (** Solver telemetry accumulated while computing this result. *)
 
-val solve_compiled : ?gmin:float -> Mna.compiled -> float array
-(** Operating point of an already-compiled circuit (same fallback
-    strategy as {!operating_point}), reusing its solver workspace and
-    accumulating into its telemetry. *)
+val solve_compiled :
+  ?gmin:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?policy:Homotopy.policy ->
+  ?analysis:string ->
+  Mna.compiled ->
+  float array
+(** Operating point of an already-compiled circuit (same ladder as
+    {!operating_point}), reusing its solver workspace and accumulating
+    into its telemetry. *)
 
 val set_vsource : Circuit.t -> string -> float -> Circuit.t
 (** Copy of the circuit with one voltage source replaced by a DC value
@@ -35,6 +57,9 @@ type sweep_result = {
 
 val sweep :
   ?gmin:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?policy:Homotopy.policy ->
   ?backend:Cnt_numerics.Linear_solver.backend ->
   ?jobs:int ->
   Circuit.t ->
@@ -46,16 +71,19 @@ val sweep :
 (** Sweep the DC value of [source].  The circuit is compiled once and
     the swept source overridden by name, so every point shares one
     matrix structure.  Points are solved in fixed-size runs of 8: the
-    first point of each run solves cold and the rest warm-start from
-    their predecessor.  Runs fan out over [jobs] domains (default:
-    [Cnt_par.Pool.default_jobs], i.e. [CNT_JOBS] or 1); each extra
-    domain refills its own {!Mna.clone} workspace, and because the run
-    boundaries never depend on the job count, results and accumulated
-    {!sweep_stats} are identical at any [jobs].  Raises
+    first point of each run solves cold through the {!Homotopy} ladder
+    and the rest warm-start from their predecessor (falling back to the
+    ladder if a warm start diverges).  Runs fan out over [jobs] domains
+    (default: [Cnt_par.Pool.default_jobs], i.e. [CNT_JOBS] or 1); each
+    extra domain refills its own {!Mna.clone} workspace, and because
+    the run boundaries never depend on the job count, results and
+    accumulated {!sweep_stats} are identical at any [jobs].  Raises
     [Invalid_argument] when [step <= 0], when [stop < start], or when
     any bound is not finite; raises {!Analysis_error} when [source]
-    names no voltage source.  When [step] does not divide the range,
-    the sweep stops at the last point not beyond [stop]. *)
+    names no voltage source; raises {!Diag.Convergence_failure} (with
+    the failing bias in [sweep_point]) when the ladder cannot rescue a
+    point.  When [step] does not divide the range, the sweep stops at
+    the last point not beyond [stop]. *)
 
 val sweep_voltage : sweep_result -> string -> float array
 val sweep_current : sweep_result -> string -> float array

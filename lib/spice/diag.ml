@@ -1,0 +1,224 @@
+(* Structured convergence diagnostics.
+
+   Everything a failed (or rescued) nonlinear solve can tell the caller
+   lives here as plain data: why one Newton attempt stopped, what each
+   rung of the homotopy ladder did (the strategy trail), and the
+   analysis-level context (which analysis, which sweep point).  The
+   modules above assemble these records; this module only defines the
+   types and their renderings, so it sits at the bottom of the
+   cnt_spice dependency order and everything — Mna, Homotopy, the
+   analyses, the engine, the CLIs — can share them. *)
+
+(* ------------------------------------------------------------------ *)
+(* Ladder rungs                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type rung =
+  | Plain_newton
+  | Damped_newton
+  | Gmin_stepping
+  | Source_stepping
+  | Gmin_source
+
+let all_rungs =
+  [ Plain_newton; Damped_newton; Gmin_stepping; Source_stepping; Gmin_source ]
+
+let rung_name = function
+  | Plain_newton -> "plain-newton"
+  | Damped_newton -> "damped-newton"
+  | Gmin_stepping -> "gmin-stepping"
+  | Source_stepping -> "source-stepping"
+  | Gmin_source -> "gmin+source"
+
+let rung_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "plain-newton" | "plain" | "newton" -> Some Plain_newton
+  | "damped-newton" | "damped" -> Some Damped_newton
+  | "gmin-stepping" | "gmin" -> Some Gmin_stepping
+  | "source-stepping" | "source" -> Some Source_stepping
+  | "gmin+source" | "gmin-source" -> Some Gmin_source
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* One Newton attempt                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type reason =
+  | Singular of string  (* the linear solve could not factor *)
+  | Iterations_exhausted of int  (* budget spent without meeting tol *)
+  | Non_finite of string  (* NaN/inf appeared; names the culprit *)
+
+let reason_text = function
+  | Singular msg -> Printf.sprintf "singular matrix: %s" msg
+  | Iterations_exhausted n -> Printf.sprintf "no convergence in %d iterations" n
+  | Non_finite what -> Printf.sprintf "non-finite values: %s" what
+
+type newton_report = {
+  converged : bool;
+  reason : reason option;  (* Some when [converged] is false *)
+  iterations : int;
+  residual : float;  (* inf-norm at the last linearisation point *)
+  worst_node : string option;  (* unknown with the largest row residual *)
+  damped_steps : int;  (* iterations the line search shortened *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Strategy trail                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One ladder rung's outcome.  [steps] counts the continuation points
+   the rung walked through (1 for the plain/damped rungs);
+   [iterations] sums the Newton iterations of every solve the rung
+   ran.  [scv_fallbacks] is the device-level bisection-rescue delta
+   observed across the rung (see {!Cnt_core.Scv_solver.fallback_events}). *)
+type attempt = {
+  rung : rung;
+  succeeded : bool;
+  steps : int;
+  iterations : int;
+  residual : float;
+  worst_node : string option;
+  failure : reason option;
+  scv_fallbacks : int;
+}
+
+type trail = attempt list
+
+let trail_converged trail = List.exists (fun a -> a.succeeded) trail
+
+let trail_iterations trail =
+  List.fold_left (fun acc a -> acc + a.iterations) 0 trail
+
+(* ------------------------------------------------------------------ *)
+(* Analysis-level diagnostic                                           *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  analysis : string;  (* "op", "dc", "tran", "ac", ... *)
+  sweep_var : string option;  (* swept source name, or "time" *)
+  sweep_point : float option;  (* bias/time value of the failing solve *)
+  iterations : int;  (* total Newton iterations across the trail *)
+  residual : float;  (* residual of the last attempt *)
+  worst_node : string option;
+  trail : trail;
+}
+
+exception Convergence_failure of t
+
+let of_trail ~analysis ?sweep_var ?sweep_point (trail : attempt list) =
+  let last_residual, last_worst =
+    match List.rev trail with
+    | last :: _ -> (last.residual, last.worst_node)
+    | [] -> (Float.nan, None)
+  in
+  {
+    analysis;
+    sweep_var;
+    sweep_point;
+    iterations = trail_iterations trail;
+    residual = last_residual;
+    worst_node = last_worst;
+    trail;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level errors                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | Parse of string  (* the netlist text could not be parsed *)
+  | Bad_deck of string  (* deck semantics: unknown source, bad ranges *)
+  | Convergence of t
+  | Internal of string  (* unexpected failure; a bug until shown otherwise *)
+
+(* The cspice exit-code contract (docs/CONVERGENCE.md): 0 ok, 2
+   parse/usage, 3 convergence failure, 4 internal error. *)
+let exit_code = function
+  | Parse _ | Bad_deck _ -> 2
+  | Convergence _ -> 3
+  | Internal _ -> 4
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_attempt fmt a =
+  Format.fprintf fmt "%-15s %s  steps=%d iters=%d residual=%.3g"
+    (rung_name a.rung)
+    (if a.succeeded then "ok  " else "FAIL")
+    a.steps a.iterations a.residual;
+  Option.iter (fun n -> Format.fprintf fmt " worst=%s" n) a.worst_node;
+  if a.scv_fallbacks > 0 then
+    Format.fprintf fmt " scv_fallbacks=%d" a.scv_fallbacks;
+  match a.failure with
+  | Some r when not a.succeeded -> Format.fprintf fmt "  (%s)" (reason_text r)
+  | _ -> ()
+
+let pp fmt d =
+  Format.fprintf fmt "@[<v>convergence diagnostic: %s analysis" d.analysis;
+  (match (d.sweep_var, d.sweep_point) with
+  | Some v, Some x -> Format.fprintf fmt " at %s = %g" v x
+  | None, Some x -> Format.fprintf fmt " at point %g" x
+  | _ -> ());
+  Format.fprintf fmt "@,total iterations: %d, final residual: %.3g"
+    d.iterations d.residual;
+  Option.iter (fun n -> Format.fprintf fmt ", worst node: %s" n) d.worst_node;
+  Format.fprintf fmt "@,strategy trail:";
+  List.iter (fun a -> Format.fprintf fmt "@,  %a" pp_attempt a) d.trail;
+  if d.trail = [] then Format.fprintf fmt " (empty)";
+  Format.fprintf fmt "@]"
+
+let to_string d = Format.asprintf "%a" pp d
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON value of a float: NaN and infinities are not JSON, so encode
+   them as null / signed sentinels readers can recognise. *)
+let json_float x =
+  if Float.is_nan x then "null"
+  else if x = Float.infinity then "\"inf\""
+  else if x = Float.neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.9g" x
+
+let json_opt_string = function
+  | None -> "null"
+  | Some s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let attempt_to_json a =
+  Printf.sprintf
+    "{\"rung\": \"%s\", \"succeeded\": %b, \"steps\": %d, \"iterations\": %d, \
+     \"residual\": %s, \"worst_node\": %s, \"scv_fallbacks\": %d, \
+     \"failure\": %s}"
+    (rung_name a.rung) a.succeeded a.steps a.iterations (json_float a.residual)
+    (json_opt_string a.worst_node)
+    a.scv_fallbacks
+    (json_opt_string (Option.map reason_text a.failure))
+
+let to_json d =
+  Printf.sprintf
+    "{\"analysis\": \"%s\", \"sweep_var\": %s, \"sweep_point\": %s, \
+     \"iterations\": %d, \"residual\": %s, \"worst_node\": %s, \"trail\": [%s]}"
+    (json_escape d.analysis)
+    (json_opt_string d.sweep_var)
+    (match d.sweep_point with None -> "null" | Some x -> json_float x)
+    d.iterations (json_float d.residual)
+    (json_opt_string d.worst_node)
+    (String.concat ", " (List.map attempt_to_json d.trail))
+
+let error_message = function
+  | Parse msg -> "parse error: " ^ msg
+  | Bad_deck msg -> "deck error: " ^ msg
+  | Convergence d -> to_string d
+  | Internal msg -> "internal error: " ^ msg

@@ -1,0 +1,104 @@
+(** Structured convergence diagnostics.
+
+    Plain-data records describing why a nonlinear solve stopped, what
+    every rung of the convergence ladder ({!Homotopy}) did, and the
+    analysis-level context of a failure.  No dependencies on the rest
+    of [Cnt_spice]: every other module in the library consumes these
+    types. *)
+
+(** {1 Ladder rungs} *)
+
+type rung =
+  | Plain_newton  (** undamped Newton with voltage-step clamping *)
+  | Damped_newton  (** Armijo-style line search on the Newton step *)
+  | Gmin_stepping  (** geometric gmin ramp down to the target gmin *)
+  | Source_stepping  (** ramp all independent sources from 0 to 1 *)
+  | Gmin_source  (** combined gmin + source continuation *)
+
+val all_rungs : rung list
+(** Ladder order, easiest first. *)
+
+val rung_name : rung -> string
+val rung_of_string : string -> rung option
+
+(** {1 One Newton attempt} *)
+
+type reason =
+  | Singular of string
+  | Iterations_exhausted of int
+  | Non_finite of string
+
+val reason_text : reason -> string
+
+type newton_report = {
+  converged : bool;
+  reason : reason option;  (** [Some _] exactly when not converged *)
+  iterations : int;
+  residual : float;  (** inf-norm at the last linearisation point *)
+  worst_node : string option;  (** unknown with the largest row residual *)
+  damped_steps : int;  (** iterations shortened by the line search *)
+}
+
+(** {1 Strategy trail} *)
+
+type attempt = {
+  rung : rung;
+  succeeded : bool;
+  steps : int;  (** continuation points walked (1 for plain/damped) *)
+  iterations : int;  (** Newton iterations summed over the rung *)
+  residual : float;
+  worst_node : string option;
+  failure : reason option;
+  scv_fallbacks : int;
+      (** device bisection-rescue delta across the rung; approximate
+          under parallel analyses *)
+}
+
+type trail = attempt list
+
+val trail_converged : trail -> bool
+val trail_iterations : trail -> int
+
+(** {1 Analysis-level diagnostic} *)
+
+type t = {
+  analysis : string;  (** "op", "dc", "tran", "ac" *)
+  sweep_var : string option;  (** swept source name, or "time" *)
+  sweep_point : float option;
+  iterations : int;
+  residual : float;
+  worst_node : string option;
+  trail : trail;
+}
+
+exception Convergence_failure of t
+(** Raised by the analyses when the full ladder fails. *)
+
+val of_trail :
+  analysis:string -> ?sweep_var:string -> ?sweep_point:float -> trail -> t
+(** Summarise a trail: totals the iterations and takes residual and
+    worst node from the last attempt. *)
+
+(** {1 Engine-level errors} *)
+
+type error =
+  | Parse of string
+  | Bad_deck of string
+  | Convergence of t
+  | Internal of string
+
+val exit_code : error -> int
+(** The cspice exit-code contract: [Parse]/[Bad_deck] → 2,
+    [Convergence] → 3, [Internal] → 4 (success is 0). *)
+
+val error_message : error -> string
+
+(** {1 Rendering} *)
+
+val pp_attempt : Format.formatter -> attempt -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_json : t -> string
+(** Single-line JSON object with the full trail; NaN renders as
+    [null]. *)

@@ -10,6 +10,28 @@ type table = {
   stats : Mna.stats; (* solver telemetry, uniform across analyses *)
 }
 
+(* One record for every knob the analyses share, replacing the
+   [?backend ?jobs ?gmin] optional-argument sprawl that each CLI used
+   to thread separately. *)
+type config = {
+  backend : Cnt_numerics.Linear_solver.backend;
+  jobs : int option; (* None: Cnt_par.Pool.default_jobs () *)
+  gmin : float;
+  tol : float;
+  max_iter : int;
+  homotopy : Homotopy.policy;
+}
+
+let default_config =
+  {
+    backend = Cnt_numerics.Linear_solver.Auto;
+    jobs = None;
+    gmin = 1e-12;
+    tol = 1e-9;
+    max_iter = 200;
+    homotopy = Homotopy.default;
+  }
+
 let default_prints circuit prints =
   if prints <> [] then prints
   else begin
@@ -34,9 +56,13 @@ let device_current circuit compiled solution name =
       invalid_arg (Printf.sprintf "id(%s): element is not a CNFET" name)
   | None -> invalid_arg (Printf.sprintf "id(%s): no such element" name)
 
-let op_table ?backend circuit prints =
+let op_table ?(config = default_config) circuit prints =
   Obs.span "analysis.op" @@ fun () ->
-  let r = Dc.operating_point ?backend circuit in
+  let r =
+    Dc.operating_point ~gmin:config.gmin ~tol:config.tol
+      ~max_iter:config.max_iter ~policy:config.homotopy
+      ~backend:config.backend circuit
+  in
   let prints = default_prints circuit prints in
   let columns = Array.of_list (List.map print_label prints) in
   let row =
@@ -51,9 +77,18 @@ let op_table ?backend circuit prints =
   in
   { analysis_label = "op"; columns; rows = [| row |]; stats = Dc.stats r }
 
-let dc_table ?backend ?jobs circuit prints ~source ~start ~stop ~step =
+let dc_table ?(config = default_config) circuit prints ~source ~start ~stop
+    ~step =
   Obs.span "analysis.dc" @@ fun () ->
-  let r = Dc.sweep ?backend ?jobs circuit ~source ~start ~stop ~step in
+  let r =
+    (* range validation raises Invalid_argument at the library level;
+       from a deck it is a semantic error, not an internal one *)
+    try
+      Dc.sweep ~gmin:config.gmin ~tol:config.tol ~max_iter:config.max_iter
+        ~policy:config.homotopy ~backend:config.backend ?jobs:config.jobs
+        circuit ~source ~start ~stop ~step
+    with Invalid_argument msg -> raise (Dc.Analysis_error msg)
+  in
   let prints = default_prints circuit prints in
   let columns =
     Array.of_list (source :: List.map print_label prints)
@@ -80,10 +115,14 @@ let dc_table ?backend ?jobs circuit prints ~source ~start ~stop ~step =
     stats = Dc.sweep_stats r;
   }
 
-let ac_table circuit prints ~per_decade ~fstart ~fstop =
+let ac_table ?(config = default_config) circuit prints ~per_decade ~fstart
+    ~fstop =
   Obs.span "analysis.ac" @@ fun () ->
   let freqs = Ac.decade_frequencies ~start:fstart ~stop:fstop ~per_decade in
-  let r = Ac.run circuit ~freqs in
+  let r =
+    Ac.run ~gmin:config.gmin ~tol:config.tol ~max_iter:config.max_iter
+      ~policy:config.homotopy circuit ~freqs
+  in
   let prints = default_prints circuit prints in
   let columns =
     Array.of_list
@@ -124,9 +163,12 @@ let ac_table circuit prints ~per_decade ~fstart ~fstop =
     stats = r.Ac.stats;
   }
 
-let tran_table ?backend circuit prints ~tstep ~tstop =
+let tran_table ?(config = default_config) circuit prints ~tstep ~tstop =
   Obs.span "analysis.tran" @@ fun () ->
-  let r = Transient.run ?backend circuit ~tstep ~tstop in
+  let r =
+    Transient.run ~gmin:config.gmin ~tol:config.tol ~policy:config.homotopy
+      ~backend:config.backend circuit ~tstep ~tstop
+  in
   let prints = default_prints circuit prints in
   let columns = Array.of_list ("time" :: List.map print_label prints) in
   let waves =
@@ -152,20 +194,47 @@ let tran_table ?backend circuit prints ~tstep ~tstop =
     stats = Transient.stats r;
   }
 
-let run_deck ?backend ?jobs (deck : Parser.deck) =
+(* Raising core shared by the result and shim entry points. *)
+let run_deck_exn ~config (deck : Parser.deck) =
   List.map
     (fun analysis ->
       match analysis with
-      | Parser.Op -> op_table ?backend deck.Parser.circuit deck.Parser.prints
+      | Parser.Op -> op_table ~config deck.Parser.circuit deck.Parser.prints
       | Parser.Dc_sweep { source; start; stop; step } ->
-          dc_table ?backend ?jobs deck.Parser.circuit deck.Parser.prints ~source
+          dc_table ~config deck.Parser.circuit deck.Parser.prints ~source
             ~start ~stop ~step
       | Parser.Tran { tstep; tstop } ->
-          tran_table ?backend deck.Parser.circuit deck.Parser.prints ~tstep ~tstop
+          tran_table ~config deck.Parser.circuit deck.Parser.prints ~tstep
+            ~tstop
       | Parser.Ac_sweep { per_decade; fstart; fstop } ->
-          ac_table deck.Parser.circuit deck.Parser.prints ~per_decade ~fstart
-            ~fstop)
+          ac_table ~config deck.Parser.circuit deck.Parser.prints ~per_decade
+            ~fstart ~fstop)
     deck.Parser.analyses
+
+let run_deck_result ?(config = default_config) deck =
+  match run_deck_exn ~config deck with
+  | tables -> Ok tables
+  | exception Diag.Convergence_failure d -> Error (Diag.Convergence d)
+  | exception Parser.Parse_error msg -> Error (Diag.Parse msg)
+  | exception Dc.Analysis_error msg
+  | exception Transient.Analysis_error msg
+  | exception Ac.Analysis_error msg ->
+      Error (Diag.Bad_deck msg)
+  | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+  | exception e -> Error (Diag.Internal (Printexc.to_string e))
+
+(* Back-compat shim: the historical raising interface, now a thin layer
+   over [config].  Prefer {!run_deck_result}. *)
+let run_deck ?backend ?jobs deck =
+  let config =
+    {
+      default_config with
+      backend =
+        (match backend with Some b -> b | None -> default_config.backend);
+      jobs;
+    }
+  in
+  run_deck_exn ~config deck
 
 let pp_table ?(max_rows = max_int) ?(stats = false) fmt t =
   Format.fprintf fmt "* %s@." t.analysis_label;

@@ -10,17 +10,46 @@ type table = {
           DC, transient and AC paths *)
 }
 
+(** Every knob the analyses share, in one record.  Build one with a
+    functional update of {!default_config}:
+    [{ Engine.default_config with jobs = Some 4 }]. *)
+type config = {
+  backend : Cnt_numerics.Linear_solver.backend;
+      (** linear solver for DC and transient ([Auto]: sparse at 25
+          unknowns; AC always uses the dense complex solver) *)
+  jobs : int option;
+      (** DC-sweep fan-out domains; [None] means
+          [Cnt_par.Pool.default_jobs ()] ([CNT_JOBS] or 1).  Results
+          are identical at any value. *)
+  gmin : float;  (** target node-to-ground conductance (default 1e-12) *)
+  tol : float;  (** Newton convergence tolerance (default 1e-9) *)
+  max_iter : int;  (** Newton iteration budget per solve (default 200) *)
+  homotopy : Homotopy.policy;  (** convergence-ladder policy *)
+}
+
+val default_config : config
+
+val run_deck_result :
+  ?config:config -> Parser.deck -> (table list, Diag.error) result
+(** Run every analysis in deck order — the primary entry point.  When
+    the deck has no [.print] directive, all node voltages are
+    reported.  Never raises for deck- or solve-level problems:
+    convergence failures return [Error (Convergence d)] with the full
+    strategy trail in [d], semantic deck errors (unknown sources, bad
+    ranges) return [Error (Bad_deck _)], and unexpected exceptions are
+    captured as [Error (Internal _)] ([Out_of_memory] and
+    [Stack_overflow] still propagate).  {!Diag.exit_code} maps the
+    error to the CLI exit contract. *)
+
 val run_deck :
   ?backend:Cnt_numerics.Linear_solver.backend ->
   ?jobs:int ->
   Parser.deck ->
   table list
-(** Run every analysis in deck order.  When the deck has no [.print]
-    directive, all node voltages are reported.  [backend] selects the
-    linear solver for DC and transient analyses ([Auto] default; AC
-    always uses the dense complex solver).  [jobs] fans DC sweeps out
-    over that many domains (see {!Dc.sweep}; default [CNT_JOBS] or 1 —
-    results are identical at any value). *)
+(** Raising shim over {!run_deck_result} with the historical
+    signature: [backend]/[jobs] override {!default_config} and errors
+    propagate as the underlying exceptions
+    ({!Diag.Convergence_failure}, [Analysis_error], ...). *)
 
 val pp_table : ?max_rows:int -> ?stats:bool -> Format.formatter -> table -> unit
 (** Pretty-print a table; [~stats:true] appends a solver-statistics

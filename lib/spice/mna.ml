@@ -23,13 +23,14 @@
 open Cnt_numerics
 module Obs = Cnt_obs.Obs
 
-exception No_convergence of string
+exception No_convergence of Diag.newton_report
 
 (* Registry instruments, interned once.  Every recording call below is
    a single-branch no-op while telemetry is disabled. *)
 let c_newton_iters = Obs.counter "mna.newton_iterations"
 let c_linear_solves = Obs.counter "mna.linear_solves"
 let c_device_evals = Obs.counter "mna.device_evals"
+let c_damped_backtracks = Obs.counter "mna.damped_backtracks"
 let h_residual = Obs.histogram "mna.newton_residual"
 let h_iters = Obs.histogram "mna.newton_iters_per_solve"
 
@@ -179,6 +180,19 @@ let node_id c name =
 
 let node_name c i = c.names.(i)
 
+(* Human name of any unknown index: node name for voltage rows, the
+   source/inductor current for branch rows.  Diagnostics only. *)
+let unknown_name c i =
+  if i >= 0 && i < c.n_nodes then c.names.(i)
+  else begin
+    let off = i - c.n_nodes in
+    let name = ref (Printf.sprintf "branch#%d" off) in
+    Hashtbl.iter
+      (fun k v -> if v = off then name := Printf.sprintf "i(%s)" k)
+      c.branch_of_vsource;
+    !name
+  end
+
 let branch_id c vname =
   match Hashtbl.find_opt c.branch_of_vsource (String.lowercase_ascii vname) with
   | Some i -> c.n_nodes + i
@@ -285,7 +299,10 @@ let stamp_system ~stats ~devices ~n_nodes ~add_j ~add_b ~eval_wave ~caps ~inds
           stamp_current p m (eval_wave name wave)
       | Dcnfet { d; g; s; model; cgs_i; cgd_i } ->
           let vgs = v_of g -. v_of s and vds = v_of d -. v_of s in
-          let i0 = Cnt_core.Cnt_model.ids model ~vgs ~vds in
+          let i0 =
+            if Fault.fires Fault.Nan_eval then Float.nan
+            else Cnt_core.Cnt_model.ids model ~vgs ~vds
+          in
           let gm = Cnt_core.Cnt_model.gm model ~vgs ~vds in
           let gds = Cnt_core.Cnt_model.gds model ~vgs ~vds in
           stats.device_evals <- stats.device_evals + 1;
@@ -485,69 +502,178 @@ let companions_of_policies c ~cap ~ind =
   in
   (caps, inds)
 
-(* Damped Newton iteration.  [x0] is the starting guess; voltage
-   updates are clamped to [max_step] volts per iteration to tame the
-   exponential device characteristics. *)
-let newton ?(gmin = 1e-12) ?(tol = 1e-9) ?(max_iter = 200) ?(max_step = 0.5)
-    ?(ind = Short_circuit) c ~eval_wave ~cap x0 =
+(* Newton iteration with a structured outcome.  [x0] is the starting
+   guess; voltage updates are clamped to [max_step] volts per iteration
+   to tame the exponential device characteristics.  With [damping] an
+   Armijo-style backtracking line search additionally shortens any step
+   that fails to reduce the residual norm — more assembles per
+   iteration, so it is off on the fast path and turned on by the
+   {!Homotopy} ladder's second rung. *)
+let newton_result ?(gmin = 1e-12) ?(tol = 1e-9) ?(max_iter = 200)
+    ?(max_step = 0.5) ?(damping = false) ?(ind = Short_circuit) c ~eval_wave
+    ~cap x0 =
   let n = size c in
   let caps, inds = companions_of_policies c ~cap ~ind in
   let x = Array.copy x0 in
   let converged = ref false in
   let iter = ref 0 in
+  let damped_steps = ref 0 in
+  let failure = ref None in
+  let worst_node = ref None in
+  let last_residual = ref Float.nan in
   let st = c.stats in
+  let exception Stop in
+  let fail reason =
+    failure := Some reason;
+    raise Stop
+  in
+  (* names the row with the largest (or first NaN) residual against the
+     currently assembled system; failure paths only *)
+  let name_worst xv =
+    let row, _ = c.solver.Linear_solver.residual_argmax xv c.rhs in
+    worst_node := Some (unknown_name c row)
+  in
+  let assemble xv =
+    let t0 = now () in
+    let span_a = Obs.start_span "mna.assemble" in
+    refill c ~eval_wave ~caps ~inds ~gmin xv;
+    Obs.end_span span_a;
+    st.assemble_s <- st.assemble_s +. (now () -. t0)
+  in
   let span_newton = Obs.start_span "mna.newton" in
   let finish () =
     Obs.observe h_iters (float_of_int !iter);
     Obs.end_span ~args:[ ("iterations", float_of_int !iter) ] span_newton
   in
+  let x_trial = if damping then Array.make n 0.0 else [||] in
   let iterate () =
-    while (not !converged) && !iter < max_iter do
-      incr iter;
-      st.newton_iterations <- st.newton_iterations + 1;
-      Obs.incr c_newton_iters;
-      let t0 = now () in
-      let span_a = Obs.start_span "mna.assemble" in
-      refill c ~eval_wave ~caps ~inds ~gmin x;
-      Obs.end_span span_a;
-      let t1 = now () in
-      st.assemble_s <- st.assemble_s +. (t1 -. t0);
-      (* Newton residual of the current iterate, before the solve *)
-      st.residual <- c.solver.Linear_solver.residual x c.rhs;
-      Obs.observe h_residual st.residual;
-      let span_s = Obs.start_span "mna.solve" in
-      let x_new =
-        try c.solver.Linear_solver.solve c.rhs
-        with Linear_solver.Singular msg ->
-          raise (No_convergence ("singular MNA matrix: " ^ msg))
-      in
-      Obs.end_span span_s;
-      st.solve_s <- st.solve_s +. (now () -. t1);
-      st.linear_solves <- st.linear_solves + 1;
-      Obs.incr c_linear_solves;
-      (* clamp the update *)
-      let worst = ref 0.0 in
-      let norm = ref 0.0 in
-      for i = 0 to n - 1 do
-        let dx = x_new.(i) -. x.(i) in
-        let dx_limited =
-          if i < c.n_nodes then Float.max (-.max_step) (Float.min max_step dx)
-          else dx
+    if Fault.fires Fault.Exhaust_iters then begin
+      last_residual := Float.infinity;
+      failure := Some (Diag.Iterations_exhausted max_iter)
+    end
+    else begin
+      while (not !converged) && !iter < max_iter do
+        incr iter;
+        st.newton_iterations <- st.newton_iterations + 1;
+        Obs.incr c_newton_iters;
+        assemble x;
+        let t1 = now () in
+        (* Newton residual of the current iterate, before the solve *)
+        let r = c.solver.Linear_solver.residual x c.rhs in
+        st.residual <- r;
+        last_residual := r;
+        Obs.observe h_residual r;
+        if not (Float.is_finite r) then begin
+          name_worst x;
+          fail (Diag.Non_finite "device evaluation produced a non-finite value")
+        end;
+        let span_s = Obs.start_span "mna.solve" in
+        let x_new =
+          if Fault.fires Fault.Singular_matrix then begin
+            Obs.end_span span_s;
+            fail (Diag.Singular "injected fault")
+          end
+          else begin
+            try c.solver.Linear_solver.solve c.rhs
+            with Linear_solver.Singular msg ->
+              Obs.end_span span_s;
+              fail (Diag.Singular msg)
+          end
         in
-        if i < c.n_nodes then worst := Float.max !worst (Float.abs dx);
-        x.(i) <- x.(i) +. dx_limited;
-        norm := Float.max !norm (Float.abs x.(i))
+        Obs.end_span span_s;
+        st.solve_s <- st.solve_s +. (now () -. t1);
+        st.linear_solves <- st.linear_solves + 1;
+        Obs.incr c_linear_solves;
+        (* clamp the update *)
+        let worst = ref 0.0 in
+        let norm = ref 0.0 in
+        let apply_scaled t =
+          (* x + t * clamp(dx); t = 1 is the plain clamped step *)
+          for i = 0 to n - 1 do
+            let dx = x_new.(i) -. x.(i) in
+            let dx_limited =
+              if i < c.n_nodes then
+                Float.max (-.max_step) (Float.min max_step dx)
+              else dx
+            in
+            if i < c.n_nodes then worst := Float.max !worst (Float.abs dx);
+            x_trial.(i) <- x.(i) +. (t *. dx_limited)
+          done
+        in
+        if damping then begin
+          (* Armijo backtracking on the assembled-residual merit: accept
+             the first scale whose residual at the trial point beats the
+             current one by the sufficient-decrease margin; the smallest
+             scale is taken unconditionally rather than giving up. *)
+          let rec search t =
+            worst := 0.0;
+            apply_scaled t;
+            if t <= 0.0626 then Array.blit x_trial 0 x 0 n
+            else begin
+              assemble x_trial;
+              let r_t = c.solver.Linear_solver.residual x_trial c.rhs in
+              if Float.is_finite r_t && r_t <= (1.0 -. (1e-4 *. t)) *. r then
+                Array.blit x_trial 0 x 0 n
+              else begin
+                Obs.incr c_damped_backtracks;
+                incr damped_steps;
+                search (t /. 2.0)
+              end
+            end
+          in
+          search 1.0;
+          norm := 0.0;
+          for i = 0 to n - 1 do
+            norm := Float.max !norm (Float.abs x.(i))
+          done
+        end
+        else
+          for i = 0 to n - 1 do
+            let dx = x_new.(i) -. x.(i) in
+            let dx_limited =
+              if i < c.n_nodes then
+                Float.max (-.max_step) (Float.min max_step dx)
+              else dx
+            in
+            if i < c.n_nodes then worst := Float.max !worst (Float.abs dx);
+            x.(i) <- x.(i) +. dx_limited;
+            norm := Float.max !norm (Float.abs x.(i))
+          done;
+        if Float.is_nan !worst || not (Float.is_finite !norm) then begin
+          name_worst x;
+          fail (Diag.Non_finite "Newton update produced a non-finite iterate")
+        end;
+        if !worst <= tol *. Float.max 1.0 !norm then converged := true
       done;
-      if !worst <= tol *. Float.max 1.0 !norm then converged := true
-    done;
-    if not !converged then
-      raise (No_convergence (Printf.sprintf "Newton: %d iterations" max_iter))
+      if not !converged then begin
+        name_worst x;
+        failure := Some (Diag.Iterations_exhausted max_iter)
+      end
+    end
   in
   (* the newton span must close on both paths; end_span also closes any
      assemble/solve span an exception unwound past *)
   (match iterate () with
-  | () -> finish ()
+  | () | (exception Stop) -> finish ()
   | exception e ->
       finish ();
       raise e);
-  x
+  let report : Diag.newton_report =
+    {
+      converged = !converged;
+      reason = !failure;
+      iterations = !iter;
+      residual = !last_residual;
+      worst_node = !worst_node;
+      damped_steps = !damped_steps;
+    }
+  in
+  if !converged then Ok (x, report) else Error report
+
+let newton ?gmin ?tol ?max_iter ?max_step ?damping ?ind c ~eval_wave ~cap x0 =
+  match
+    newton_result ?gmin ?tol ?max_iter ?max_step ?damping ?ind c ~eval_wave
+      ~cap x0
+  with
+  | Ok (x, _) -> x
+  | Error report -> raise (No_convergence report)

@@ -14,7 +14,9 @@
 
 open Cnt_numerics
 
-exception No_convergence of string
+exception No_convergence of Diag.newton_report
+(** Raised by {!newton}; the report carries the structured stop reason,
+    iteration count, residual and worst-residual unknown. *)
 
 (** Accumulated per-analysis solver telemetry.  The structural fields
     ([backend], [unknowns], [nonzeros]) are fixed at compile time; the
@@ -80,6 +82,10 @@ val node_id : compiled -> string -> int
 
 val node_name : compiled -> int -> string
 
+val unknown_name : compiled -> int -> string
+(** Human name of any unknown index: the node name for voltage rows,
+    ["i(<source>)"] for branch-current rows.  Diagnostics only. *)
+
 val branch_id : compiled -> string -> int
 (** Unknown index of a voltage source's or inductor's branch
     current. *)
@@ -119,19 +125,40 @@ val capacitors : compiled -> (int * int * float) array
     gate-source/gate-drain capacitances of CNFETs with positive tube
     length. *)
 
+val newton_result :
+  ?gmin:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?max_step:float ->
+  ?damping:bool ->
+  ?ind:ind_policy ->
+  compiled ->
+  eval_wave:(string -> Waveform.t -> float) ->
+  cap:cap_policy ->
+  float array ->
+  (float array * Diag.newton_report, Diag.newton_report) result
+(** Newton iteration from a starting guess, reporting a structured
+    outcome instead of raising.  [eval_wave] is called with each
+    independent source's element name and waveform — the name lets a
+    sweep override one source without recompiling.  Voltage updates are
+    clamped to [max_step] volts per iteration; with [damping] (default
+    off) an Armijo-style backtracking line search additionally shortens
+    steps that fail to reduce the residual norm, at the price of extra
+    assembles per iteration.  [Error] carries the failure report
+    (singular matrix, exhausted iterations, or a non-finite value) —
+    see {!Diag.reason}.  Honours any installed {!Fault} spec. *)
+
 val newton :
   ?gmin:float ->
   ?tol:float ->
   ?max_iter:int ->
   ?max_step:float ->
+  ?damping:bool ->
   ?ind:ind_policy ->
   compiled ->
   eval_wave:(string -> Waveform.t -> float) ->
   cap:cap_policy ->
   float array ->
   float array
-(** Damped Newton iteration from a starting guess.  [eval_wave] is
-    called with each independent source's element name and waveform —
-    the name lets a sweep override one source without recompiling.
-    Raises {!No_convergence} when the iteration budget is exhausted or
-    the matrix is singular. *)
+(** {!newton_result} as a raising shim: returns the solution and raises
+    {!No_convergence} with the failure report otherwise. *)

@@ -8,6 +8,7 @@ exception Analysis_error of string
 
 let c_steps_accepted = Obs.counter "tran.steps_accepted"
 let c_steps_rejected = Obs.counter "tran.steps_rejected"
+let c_ladder_rescues = Obs.counter "tran.ladder_rescues"
 let h_step_size = Obs.histogram "tran.step_size"
 
 type method_ =
@@ -75,8 +76,8 @@ let branch_currents caps comps x =
       (comps.(k).Mna.geq *. vab) +. comps.(k).Mna.ieq)
     caps
 
-let run ?(method_ = Trapezoidal) ?(gmin = 1e-12) ?(max_newton = 100) ?backend
-    ?initial_condition circuit ~tstep ~tstop =
+let run ?(method_ = Trapezoidal) ?(gmin = 1e-12) ?tol ?(max_newton = 100)
+    ?policy ?backend ?initial_condition circuit ~tstep ~tstop =
   Obs.span "tran.run" @@ fun () ->
   if tstep <= 0.0 || tstop <= 0.0 || tstep > tstop then
     raise (Analysis_error "transient: need 0 < tstep <= tstop");
@@ -91,7 +92,7 @@ let run ?(method_ = Trapezoidal) ?(gmin = 1e-12) ?(max_newton = 100) ?backend
         if Array.length x <> Mna.size compiled then
           raise (Analysis_error "transient: initial condition size mismatch");
         Array.copy x
-    | None -> Dc.solve_compiled ~gmin compiled
+    | None -> Dc.solve_compiled ~gmin ?tol ?policy ~analysis:"tran" compiled
   in
   let times = ref [ 0.0 ] and solutions = ref [ x0 ] in
   let i_prev = ref (Array.make (Array.length caps) 0.0) in
@@ -104,31 +105,50 @@ let run ?(method_ = Trapezoidal) ?(gmin = 1e-12) ?(max_newton = 100) ?backend
     let t_next = !t +. h_now in
     let comps = companions method_ caps h_now !x_prev !i_prev in
     let icomps = ind_companions method_ inds h_now !x_prev in
+    let eval_wave _name w = Waveform.eval w t_next in
+    let accept x =
+      Obs.incr c_steps_accepted;
+      Obs.observe h_step_size h_now;
+      i_prev := branch_currents caps comps x;
+      x_prev := x;
+      t := t_next;
+      times := t_next :: !times;
+      solutions := x :: !solutions;
+      (* recover the step size after successful solves *)
+      if !h < tstep then h := Float.min tstep (!h *. 2.0)
+    in
+    Fault.set_point (Some t_next);
     match
-      Mna.newton ~gmin ~max_iter:max_newton compiled
-        ~eval_wave:(fun _name w -> Waveform.eval w t_next)
+      Mna.newton ~gmin ?tol ~max_iter:max_newton compiled ~eval_wave
         ~cap:(Mna.Companions comps)
         ~ind:(Mna.Ind_companions icomps) (Array.copy !x_prev)
     with
-    | x ->
-        Obs.incr c_steps_accepted;
-        Obs.observe h_step_size h_now;
-        i_prev := branch_currents caps comps x;
-        x_prev := x;
-        t := t_next;
-        times := t_next :: !times;
-        solutions := x :: !solutions;
-        (* recover the step size after successful solves *)
-        if !h < tstep then h := Float.min tstep (!h *. 2.0)
+    | x -> accept x
     | exception Mna.No_convergence _ ->
         Obs.incr c_steps_rejected;
-        if h_now <= h_min then
-          raise
-            (Analysis_error
-               (Printf.sprintf "transient: no convergence at t=%g even with h=%g"
-                  t_next h_now))
+        if h_now <= h_min then begin
+          (* step halving is out of road: climb the full ladder at the
+             minimum step before giving up.  Continuation rungs only
+             deform the solve toward the true companion system, so an
+             accepted rescue satisfies the same step equations. *)
+          Obs.incr c_ladder_rescues;
+          match
+            Homotopy.solve ~gmin ?tol ~max_iter:max_newton ?policy compiled
+              ~eval_wave
+              ~cap:(Mna.Companions comps)
+              ~ind:(Mna.Ind_companions icomps) (Array.copy !x_prev)
+          with
+          | Ok (x, _trail) -> accept x
+          | Error trail ->
+              Fault.set_point None;
+              raise
+                (Diag.Convergence_failure
+                   (Diag.of_trail ~analysis:"tran" ~sweep_var:"time"
+                      ~sweep_point:t_next trail))
+        end
         else h := h_now /. 2.0
   done;
+  Fault.set_point None;
   {
     compiled;
     times = Array.of_list (List.rev !times);

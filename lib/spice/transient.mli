@@ -1,6 +1,8 @@
 (** Transient analysis: implicit time stepping (backward Euler or
     trapezoidal) with a Newton solve per step and automatic step
-    halving on convergence failure. *)
+    halving on convergence failure.  When halving bottoms out at
+    [tstep/1024], the full {!Homotopy} ladder runs at the minimum step
+    before the analysis gives up with {!Diag.Convergence_failure}. *)
 
 exception Analysis_error of string
 
@@ -17,7 +19,9 @@ type result = {
 val run :
   ?method_:method_ ->
   ?gmin:float ->
+  ?tol:float ->
   ?max_newton:int ->
+  ?policy:Homotopy.policy ->
   ?backend:Cnt_numerics.Linear_solver.backend ->
   ?initial_condition:float array ->
   Circuit.t ->
@@ -26,7 +30,11 @@ val run :
   result
 (** Integrate from the DC operating point (or a supplied initial
     condition) to [tstop] with nominal step [tstep] (trapezoidal by
-    default).  [backend] selects the linear solver ([Auto] default). *)
+    default).  [backend] selects the linear solver ([Auto] default);
+    [policy] governs the DC start point and the minimum-step ladder
+    rescue (per-step solves stay plain Newton for speed).  Raises
+    {!Diag.Convergence_failure} with [sweep_var = "time"] when the
+    ladder cannot rescue a step at the minimum size. *)
 
 val stats : result -> Mna.stats
 (** Solver telemetry accumulated across the whole run, including the

@@ -1200,8 +1200,29 @@ let test_solver_singular_circuit () =
   in
   Alcotest.(check bool) "no convergence on singular system" true
     (match Dc.operating_point c with
-    | exception Mna.No_convergence _ -> true
+    | exception Diag.Convergence_failure d ->
+        (* every ladder rung must have run and failed on the singular
+           factorisation *)
+        d.Diag.trail <> []
+        && List.for_all
+             (fun (a : Diag.attempt) ->
+               (not a.succeeded)
+               &&
+               match a.failure with Some (Diag.Singular _) -> true | _ -> false)
+             d.Diag.trail
     | _ -> false)
+
+(* The cspice exit-code contract (docs/CONVERGENCE.md): 0 success,
+   2 parse/deck/usage, 3 convergence, 4 internal.  The CLI maps
+   Diag.error through Diag.exit_code, so pinning the mapping here pins
+   the contract; test_convergence.ml additionally exercises the built
+   binary. *)
+let test_exit_code_contract () =
+  Alcotest.(check int) "parse error" 2 (Diag.exit_code (Diag.Parse "x"));
+  Alcotest.(check int) "bad deck" 2 (Diag.exit_code (Diag.Bad_deck "x"));
+  Alcotest.(check int) "convergence failure" 3
+    (Diag.exit_code (Diag.Convergence (Diag.of_trail ~analysis:"op" [])));
+  Alcotest.(check int) "internal error" 4 (Diag.exit_code (Diag.Internal "x"))
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -1326,6 +1347,7 @@ let () =
           tc "stats populated" test_solver_stats_populated;
           tc "sweep guards" test_sweep_guards;
           tc "singular circuit" test_solver_singular_circuit;
+          tc "exit-code contract" test_exit_code_contract;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
