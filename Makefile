@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test check bench obs-smoke obs-bench par-check par-bench conv-check conv-smoke conv-bench repro clean
+.PHONY: all build test check bench obs-smoke obs-bench par-check par-bench conv-check conv-smoke conv-bench cache-check cache-smoke cache-bench repro clean
 
 all: build
 
@@ -49,6 +49,21 @@ conv-smoke:
 conv-bench:
 	dune exec bench/main.exe -- convergence-json > results/BENCH_convergence.json
 	@tail -n +2 results/BENCH_convergence.json | head -n 5
+
+# Cache invisibility gate: the full suite with every CNFET cache forced
+# on (exact keys), sequential and wide (see docs/CACHING.md).
+cache-check:
+	CNT_CACHE=4096 CNT_JOBS=1 dune runtest --force
+	CNT_CACHE=4096 CNT_JOBS=4 dune runtest --force
+
+# Quick cache/batch smoke run (2 repeats; prints JSON to stdout).
+cache-smoke:
+	@dune exec bench/main.exe -- cache-json --smoke
+
+# Full cache/batch benchmark; refreshes the committed artefact.
+cache-bench:
+	dune exec bench/main.exe -- cache-json > results/BENCH_cache.json
+	@tail -n +2 results/BENCH_cache.json | head -n 6
 
 repro:
 	dune exec bin/repro.exe -- all

@@ -55,8 +55,33 @@ let source_steps_arg =
   let doc = "Points in the source-stepping ramp." in
   Arg.(value & opt int 20 & info [ "source-steps" ] ~docv:"N" ~doc)
 
+let cache_conv =
+  let parse s =
+    match Cnt_core.Eval_cache.config_of_string s with
+    | Ok c -> Ok c
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt c =
+    Format.pp_print_string fmt (Cnt_core.Eval_cache.config_to_string c)
+  in
+  Arg.conv (parse, print)
+
+let cache_arg =
+  let doc =
+    "Bias-point evaluation cache per CNFET: $(docv) is \
+     $(i,SIZE)[:$(i,QUANTUM)], e.g. $(b,4096) or $(b,4096:1e-4).  SIZE 0 \
+     disables caching.  With no QUANTUM (exact keys) results are \
+     bitwise-identical to uncached runs; a positive QUANTUM snaps biases to \
+     that grid before solving, trading exactness for hit rate.  See \
+     docs/CACHING.md."
+  in
+  Arg.(
+    value
+    & opt (some cache_conv) None
+    & info [ "cache" ] ~docv:"SPEC" ~doc ~env:(Cmd.Env.info "CNT_CACHE"))
+
 let make solver jobs gmin tol max_iter no_homotopy gmin_start gmin_steps
-    source_steps =
+    source_steps cache =
   {
     Cnt_spice.Engine.backend = solver;
     jobs;
@@ -72,9 +97,11 @@ let make solver jobs gmin tol max_iter no_homotopy gmin_start gmin_steps
            gmin_steps;
            source_steps;
          });
+    cache;
   }
 
 let term =
   Term.(
     const make $ solver_arg $ Cli_jobs.arg $ gmin_arg $ tol_arg $ max_iter_arg
-    $ no_homotopy_arg $ gmin_start_arg $ gmin_steps_arg $ source_steps_arg)
+    $ no_homotopy_arg $ gmin_start_arg $ gmin_steps_arg $ source_steps_arg
+    $ cache_arg)

@@ -33,6 +33,8 @@ let run which temp fermi diameter tox vgs_csv vds_max points format optimise
     compare profile config =
   let jobs = config.Cnt_spice.Engine.jobs in
   if profile then Cnt_obs.Obs.enable ();
+  (* models built below adopt the ambient default cache config *)
+  Option.iter Cnt_core.Eval_cache.set_default config.Cnt_spice.Engine.cache;
   let device =
     Device.create ~temp ~fermi ~diameter:(diameter *. 1e-9)
       ~oxide_thickness:(tox *. 1e-9) ()

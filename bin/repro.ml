@@ -14,6 +14,8 @@ let run_repro list_only quiet profile dir config ids =
   end
   else begin
     if profile then Cnt_obs.Obs.enable ();
+    (* models built inside the experiments adopt the ambient default *)
+    Option.iter Cnt_core.Eval_cache.set_default config.Cnt_spice.Engine.cache;
     let ids =
       match ids with
       | [] | [ "all" ] -> Cnt_experiments.Repro.experiment_ids

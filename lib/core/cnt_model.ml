@@ -13,6 +13,7 @@ module Obs = Cnt_obs.Obs
 
 let c_ids_evals = Obs.counter "cnt_model.ids_evals"
 let c_fits = Obs.counter "cnt_model.fits"
+let c_batch_evals = Obs.counter "cnt_model.batch_evals"
 
 type polarity =
   | N_type
@@ -26,6 +27,9 @@ type t = {
   solver : Scv_solver.t;
   kt_ev : float;
   current_scale : float; (* 2 q k T / (pi hbar), Amperes *)
+  mutable cache : Eval_cache.store;
+      (* per-slot memo of (V_SC, I_DS) solves; disabled unless the
+         ambient Eval_cache default or set_cache says otherwise *)
 }
 
 let make ?(polarity = N_type) ?(spec = Charge_fit.model2_spec)
@@ -54,6 +58,7 @@ let make ?(polarity = N_type) ?(spec = Charge_fit.model2_spec)
     current_scale =
       2.0 *. Constants.elementary_charge *. Constants.thermal_energy temp
       /. (Float.pi *. Constants.hbar);
+    cache = Eval_cache.create (Eval_cache.default_config ());
   }
 
 (* The paper's Model 1 (three pieces) on a device (default: the FETToy
@@ -93,6 +98,7 @@ let of_parts ?(polarity = N_type) ?(charge_rms = nan) ~device ~approx () =
     current_scale =
       2.0 *. Constants.elementary_charge *. Constants.thermal_energy temp
       /. (Float.pi *. Constants.hbar);
+    cache = Eval_cache.create (Eval_cache.default_config ());
   }
 
 let model1 ?polarity ?optimise ?(device = Device.default) () =
@@ -109,15 +115,40 @@ let charge_approx t = t.fit.Charge_fit.approx
 let charge_rms t = t.fit.Charge_fit.charge_rms
 let solver t = t.solver
 
+let set_cache t cfg = t.cache <- Eval_cache.create cfg
+let cache_config t = Eval_cache.config t.cache
+let cache_stats t = Eval_cache.stats t.cache
+
 (* Map terminal voltages through the device polarity: a p-type device
    is the electron-hole mirror of the n-type one. *)
 let oriented t ~vgs ~vds =
   match t.polarity with N_type -> (vgs, vds) | P_type -> (-.vgs, -.vds)
 
-let solve_vsc t ~vgs ~vds =
-  let vgs, vds = oriented t ~vgs ~vds in
+(* The full closed-form point solve on oriented voltages: (V_SC, I_DS)
+   with the n-type current sign.  This is the unit of work the cache
+   memoises — both values come out of the one solve, so a hit saves the
+   breakpoint scan, the root extraction and both Fermi integrals. *)
+let solve_point t ~vgs ~vds =
   let qt = Device.terminal_charge t.device ~vgs ~vds in
-  Scv_solver.solve t.solver ~qt ~vds
+  let vsc = Scv_solver.solve t.solver ~qt ~vds in
+  let eta_s = (t.device.Device.fermi -. vsc) /. t.kt_ev in
+  let eta_d = eta_s -. (vds /. t.kt_ev) in
+  let i =
+    t.current_scale
+    *. (Fermi.integral_order0 eta_s -. Fermi.integral_order0 eta_d)
+  in
+  (vsc, i)
+
+let cached_point t ~ovgs ~ovds =
+  Eval_cache.find_or_add t.cache ~vgs:ovgs ~vds:ovds (fun ~vgs ~vds ->
+      solve_point t ~vgs ~vds)
+
+let solve_vsc t ~vgs ~vds =
+  let ovgs, ovds = oriented t ~vgs ~vds in
+  if Eval_cache.enabled t.cache then fst (cached_point t ~ovgs ~ovds)
+  else
+    let qt = Device.terminal_charge t.device ~vgs:ovgs ~vds:ovds in
+    Scv_solver.solve t.solver ~qt ~vds:ovds
 
 let solve_stats t ~vgs ~vds =
   let vgs, vds = oriented t ~vgs ~vds in
@@ -129,14 +160,7 @@ let solve_stats t ~vgs ~vds =
 let ids t ~vgs ~vds =
   Obs.incr c_ids_evals;
   let ovgs, ovds = oriented t ~vgs ~vds in
-  let qt = Device.terminal_charge t.device ~vgs:ovgs ~vds:ovds in
-  let vsc = Scv_solver.solve t.solver ~qt ~vds:ovds in
-  let eta_s = (t.device.Device.fermi -. vsc) /. t.kt_ev in
-  let eta_d = eta_s -. (ovds /. t.kt_ev) in
-  let i =
-    t.current_scale
-    *. (Fermi.integral_order0 eta_s -. Fermi.integral_order0 eta_d)
-  in
+  let i = snd (cached_point t ~ovgs ~ovds) in
   match t.polarity with N_type -> i | P_type -> -.i
 
 (* Mobile charges at a bias point (for charge-conserving transient
@@ -144,16 +168,73 @@ let ids t ~vgs ~vds =
    (C/m). *)
 let charges t ~vgs ~vds =
   let ovgs, ovds = oriented t ~vgs ~vds in
-  let qt = Device.terminal_charge t.device ~vgs:ovgs ~vds:ovds in
-  let vsc = Scv_solver.solve t.solver ~qt ~vds:ovds in
+  let vsc =
+    if Eval_cache.enabled t.cache then fst (cached_point t ~ovgs ~ovds)
+    else
+      let qt = Device.terminal_charge t.device ~vgs:ovgs ~vds:ovds in
+      Scv_solver.solve t.solver ~qt ~vds:ovds
+  in
   let qs = Piecewise.eval (charge_approx t) vsc in
   let qd = Piecewise.eval (charge_approx t) (vsc +. ovds) in
   (vsc, qs, qd)
 
-let output_family t ~vgs_list ~vds_points =
-  List.map (fun vgs -> (vgs, Array.map (fun vds -> ids t ~vgs ~vds) vds_points)) vgs_list
+(* -------------------------------------------------------------- *)
+(* Batched kernel                                                 *)
+(* -------------------------------------------------------------- *)
 
-let transfer t ~vds ~vgs_points = Array.map (fun vgs -> ids t ~vgs ~vds) vgs_points
+type grid = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array2.t
+
+(* One drain column evaluated through a hoisted Scv_solver plan.  The
+   plan is built at the quantised drain bias, so cached and plan-only
+   evaluations agree; the per-point program below is the same
+   floating-point program as [solve_point] with [Scv_solver.solve]
+   replaced by the bitwise-equal [solve_plan]. *)
+let eval_batch t ~vgs ~vds =
+  Obs.span "cnt_model.eval_batch" @@ fun () ->
+  let ni = Array.length vgs and nj = Array.length vds in
+  let out = Bigarray.Array2.create Bigarray.float64 Bigarray.c_layout ni nj in
+  let use_cache = Eval_cache.enabled t.cache in
+  let sign = match t.polarity with N_type -> 1.0 | P_type -> -1.0 in
+  for j = 0 to nj - 1 do
+    let _, ovds = oriented t ~vgs:0.0 ~vds:vds.(j) in
+    let qvds = Eval_cache.quantise t.cache ovds in
+    let plan = Scv_solver.plan t.solver ~vds:qvds in
+    let compute ~vgs ~vds =
+      let qt = Device.terminal_charge t.device ~vgs ~vds in
+      let vsc = Scv_solver.solve_plan plan ~qt in
+      let eta_s = (t.device.Device.fermi -. vsc) /. t.kt_ev in
+      let eta_d = eta_s -. (vds /. t.kt_ev) in
+      let i =
+        t.current_scale
+        *. (Fermi.integral_order0 eta_s -. Fermi.integral_order0 eta_d)
+      in
+      (vsc, i)
+    in
+    for i = 0 to ni - 1 do
+      let ovgs, _ = oriented t ~vgs:vgs.(i) ~vds:0.0 in
+      let ids =
+        if use_cache then
+          snd (Eval_cache.find_or_add t.cache ~vgs:ovgs ~vds:qvds compute)
+        else snd (compute ~vgs:ovgs ~vds:qvds)
+      in
+      Bigarray.Array2.unsafe_set out i j (sign *. ids)
+    done
+  done;
+  Obs.incr ~by:(ni * nj) c_ids_evals;
+  Obs.incr c_batch_evals;
+  out
+
+let output_family t ~vgs_list ~vds_points =
+  let vgs = Array.of_list vgs_list in
+  let g = eval_batch t ~vgs ~vds:vds_points in
+  List.mapi
+    (fun i vg ->
+      (vg, Array.init (Array.length vds_points) (fun j -> Bigarray.Array2.get g i j)))
+    vgs_list
+
+let transfer t ~vds ~vgs_points =
+  let g = eval_batch t ~vgs:vgs_points ~vds:[| vds |] in
+  Array.init (Array.length vgs_points) (fun i -> Bigarray.Array2.get g i 0)
 
 (* Numerical transconductance and output conductance (central
    differences), for small-signal work. *)

@@ -53,6 +53,22 @@ val charge_rms : t -> float
 
 val solver : t -> Scv_solver.t
 
+(** {1 Bias-point evaluation cache}
+
+    Every model owns an {!Eval_cache.store} memoising its
+    [(V_SC, I_DS)] solves against the oriented bias tuple.  Models are
+    born with {!Eval_cache.default_config} (disabled unless [--cache] /
+    [CNT_CACHE] / {!Eval_cache.set_default} says otherwise).  With
+    [quantum = 0] cached and uncached evaluation are bitwise-identical;
+    see [docs/CACHING.md]. *)
+
+val set_cache : t -> Eval_cache.config -> unit
+(** Replace the model's cache with a fresh store of the given
+    configuration (drops any cached entries and statistics). *)
+
+val cache_config : t -> Eval_cache.config
+val cache_stats : t -> Eval_cache.stats
+
 val solve_vsc : t -> vgs:float -> vds:float -> float
 (** Self-consistent voltage at a bias point, in closed form. *)
 
@@ -65,10 +81,28 @@ val ids : t -> vgs:float -> vds:float -> float
 val charges : t -> vgs:float -> vds:float -> float * float * float
 (** [(v_sc, q_s, q_d)] at a bias point; charges in C/m. *)
 
+(** {1 Batched kernels}
+
+    [eval_batch] evaluates a whole bias grid in one pass over a
+    [Bigarray] result, hoisting the per-drain-bias solver plan
+    ({!Scv_solver.plan}) out of the inner loop.  Every element is
+    {e bitwise-equal} to the corresponding scalar {!ids} call under the
+    same cache configuration (pinned by [test/test_property.ml]), and
+    the cache composes: batch evaluations populate and hit the same
+    per-slot store as scalar ones. *)
+
+type grid = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array2.t
+
+val eval_batch : t -> vgs:float array -> vds:float array -> grid
+(** Drain currents for the bias product grid; element [(i, j)] is
+    [ids t ~vgs:vgs.(i) ~vds:vds.(j)], bitwise. *)
+
 val output_family :
   t -> vgs_list:float list -> vds_points:float array -> (float * float array) list
+(** Output characteristics, evaluated through {!eval_batch}. *)
 
 val transfer : t -> vds:float -> vgs_points:float array -> float array
+(** Transfer characteristic, evaluated through {!eval_batch}. *)
 
 val gm : ?dv:float -> t -> vgs:float -> vds:float -> float
 (** Transconductance [dI/dV_GS] by central difference. *)

@@ -28,12 +28,12 @@ let reference_surface ?(grid = default_grid) fettoy =
 (* Mean (over gate voltages) relative RMS current error of a model
    against a precomputed reference surface. *)
 let current_error ?(grid = default_grid) ~reference model =
+  let g = Cnt_model.eval_batch model ~vgs:grid.vgs ~vds:grid.vds in
+  let nj = Array.length grid.vds in
   let total = ref 0.0 in
   Array.iteri
-    (fun i vgs ->
-      let approx =
-        Array.map (fun vds -> Cnt_model.ids model ~vgs ~vds) grid.vds
-      in
+    (fun i _vgs ->
+      let approx = Array.init nj (fun j -> Bigarray.Array2.get g i j) in
       total := !total +. Stats.relative_rms_error reference.(i) approx)
     grid.vgs;
   !total /. float_of_int (Array.length grid.vgs)

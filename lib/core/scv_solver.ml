@@ -85,33 +85,31 @@ let residual_poly t ~qt ~vds x =
   let pd = Polynomial.shift (Piecewise.piece_at t.qs (x +. vds)) vds in
   sub (sub linear ps) pd
 
-let solve_stats t ~qt ~vds =
-  let bps = merged_breakpoints t ~vds in
+(* Endpoints of interval [k] of the merged-breakpoint partition:
+   interval 0 is (-inf, b_0], interval k is (b_{k-1}, b_k], interval n
+   is (b_{n-1}, +inf) — with the degenerate no-breakpoint partition
+   treated as (0, +inf), matching the historical scan result. *)
+let interval_bounds bps k =
   let n = Array.length bps in
-  (* locate the bracketing interval: first breakpoint with F >= 0 *)
-  let rec find i =
-    if i >= n then None
-    else if residual t ~qt ~vds bps.(i) >= 0.0 then Some i
-    else find (i + 1)
-  in
-  let lo, hi =
-    match find 0 with
-    | Some 0 -> (neg_infinity, bps.(0))
-    | Some i -> (bps.(i - 1), bps.(i))
-    | None ->
-        let last = if n = 0 then 0.0 else bps.(n - 1) in
-        (last, infinity)
-  in
-  (* the representative point selects the pieces; it must be strictly
-     interior to the interval, because a point sitting exactly on a
-     shifted breakpoint can be misclassified by floating-point error
-     when re-shifted by vds *)
-  let representative =
-    if Float.is_finite lo && Float.is_finite hi then 0.5 *. (lo +. hi)
-    else if Float.is_finite hi then hi -. 1.0
-    else lo +. 1.0
-  in
-  let poly = residual_poly t ~qt ~vds representative in
+  if n = 0 then (0.0, infinity)
+  else if k = 0 then (neg_infinity, bps.(0))
+  else if k = n then (bps.(n - 1), infinity)
+  else (bps.(k - 1), bps.(k))
+
+(* the representative point selects the pieces; it must be strictly
+   interior to the interval, because a point sitting exactly on a
+   shifted breakpoint can be misclassified by floating-point error
+   when re-shifted by vds *)
+let representative_of ~lo ~hi =
+  if Float.is_finite lo && Float.is_finite hi then 0.5 *. (lo +. hi)
+  else if Float.is_finite hi then hi -. 1.0
+  else lo +. 1.0
+
+(* Closed-form solve of the residual polynomial on one bracketing
+   interval — the tail shared by the scalar path and the batched plan
+   path, so the two are the same floating-point program by
+   construction. *)
+let solve_on_interval t ~qt ~vds ~lo ~hi poly =
   let deg = Polynomial.degree poly in
   Obs.incr c_solves;
   Obs.incr
@@ -157,4 +155,89 @@ let solve_stats t ~qt ~vds =
         used_fallback = true;
       }
 
+let solve_stats t ~qt ~vds =
+  let bps = merged_breakpoints t ~vds in
+  let n = Array.length bps in
+  (* locate the bracketing interval: first breakpoint with F >= 0 *)
+  let rec find i =
+    if i >= n then n
+    else if residual t ~qt ~vds bps.(i) >= 0.0 then i
+    else find (i + 1)
+  in
+  let k = find 0 in
+  let lo, hi = interval_bounds bps k in
+  let poly = residual_poly t ~qt ~vds (representative_of ~lo ~hi) in
+  solve_on_interval t ~qt ~vds ~lo ~hi poly
+
 let solve t ~qt ~vds = (solve_stats t ~qt ~vds).vsc
+
+(* ------------------------------------------------------------------ *)
+(* Batched evaluation plans                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything in the scalar solve that depends only on (solver, vds) —
+   merged breakpoints, the charge-curve values at them, and the source
+   and shifted-drain piece polynomials of every interval — hoisted out
+   so a whole bias grid at one drain voltage pays for it once.  The
+   remaining per-point work is the O(breakpoints) residual scan, two
+   small polynomial subtractions and the closed-form root.
+
+   Each precomputed part is produced by the same function calls on the
+   same inputs as the scalar path, and the per-point residual
+   [(c_sigma * b + qt) - e1 - e2] replays the scalar operation order
+   with e1, e2 memoised, so [solve_plan] is bitwise-equal to [solve]
+   at every (qt, vds) — the property test suite pins this. *)
+
+type interval = {
+  iv_lo : float;
+  iv_hi : float;
+  iv_ps : Polynomial.t; (* source piece on this interval *)
+  iv_pd : Polynomial.t; (* drain piece, pre-shifted by vds *)
+}
+
+type plan = {
+  owner : t;
+  plan_vds : float;
+  bps : float array;
+  e1 : float array; (* Q_S(b_i) *)
+  e2 : float array; (* Q_S(b_i + vds) *)
+  intervals : interval array; (* length = breakpoints + 1 *)
+}
+
+let plan t ~vds =
+  let bps = merged_breakpoints t ~vds in
+  let n = Array.length bps in
+  let e1 = Array.map (fun b -> Piecewise.eval t.qs b) bps in
+  let e2 = Array.map (fun b -> Piecewise.eval t.qs (b +. vds)) bps in
+  let intervals =
+    Array.init (n + 1) (fun k ->
+        let lo, hi = interval_bounds bps k in
+        let x = representative_of ~lo ~hi in
+        {
+          iv_lo = lo;
+          iv_hi = hi;
+          iv_ps = Piecewise.piece_at t.qs x;
+          iv_pd = Polynomial.shift (Piecewise.piece_at t.qs (x +. vds)) vds;
+        })
+  in
+  { owner = t; plan_vds = vds; bps; e1; e2; intervals }
+
+let plan_vds p = p.plan_vds
+
+let solve_plan p ~qt =
+  let t = p.owner in
+  let n = Array.length p.bps in
+  let rec find i =
+    if i >= n then n
+    else if
+      (t.c_sigma *. p.bps.(i)) +. qt -. p.e1.(i) -. p.e2.(i) >= 0.0
+    then i
+    else find (i + 1)
+  in
+  let k = find 0 in
+  let iv = p.intervals.(k) in
+  let poly =
+    Polynomial.(
+      sub (sub (of_coeffs [| qt; t.c_sigma |]) iv.iv_ps) iv.iv_pd)
+  in
+  (solve_on_interval t ~qt ~vds:p.plan_vds ~lo:iv.iv_lo ~hi:iv.iv_hi poly).vsc

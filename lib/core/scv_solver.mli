@@ -40,6 +40,26 @@ val solve : t -> qt:float -> vds:float -> float
 (** The self-consistent voltage for terminal charge [qt] (C/m) and
     drain bias [vds] (V). *)
 
+(** {1 Batched evaluation plans}
+
+    A plan hoists everything in the closed-form solve that depends only
+    on [(solver, vds)] — the merged breakpoints, the charge-curve
+    values at them and every interval's piece polynomials — so a whole
+    bias grid at one drain voltage pays for that work once.
+    [solve_plan] replays the scalar solve's floating-point program on
+    the precomputed parts and is therefore {e bitwise-equal} to
+    {!solve} at every [(qt, vds)] (pinned by [test/test_property.ml]).
+    It ticks the same telemetry counters as the scalar path, so
+    profiles keep their shape whichever entry point a workload uses. *)
+
+type plan
+
+val plan : t -> vds:float -> plan
+val plan_vds : plan -> float
+
+val solve_plan : plan -> qt:float -> float
+(** [solve_plan (plan t ~vds) ~qt] = [solve t ~qt ~vds], bitwise. *)
+
 val fallback_events : unit -> int
 (** Process-wide count of bisection rescues since program start,
     monotonic and always on (independent of [Cnt_obs] being enabled).

@@ -46,8 +46,41 @@ let build ?(tuned = true) device =
     model2 = make Charge_fit.model2_spec;
   }
 
+(* Memoised per-condition model construction.  Rms_tables and Repro
+   both walk the full (temperature, Fermi) corner grid, and the tuned
+   build (Model_tuning.optimise_for_current) is by far the most
+   expensive step — previously redone identically by every caller.
+   Per-key cells let distinct conditions build concurrently from pool
+   workers while a second request for the same key blocks on its cell
+   until the first finishes.  (Lazy would not be domain-safe here.) *)
+type condition_cell = {
+  cell_mutex : Mutex.t;
+  mutable cell_models : models option;
+}
+
+let condition_tbl : (bool * float * float, condition_cell) Hashtbl.t =
+  Hashtbl.create 16
+
+let condition_tbl_mutex = Mutex.create ()
+
 let condition ?(tuned = true) ~temp ~fermi () =
-  build ~tuned (Device.create ~temp ~fermi ())
+  let key = (tuned, temp, fermi) in
+  let cell =
+    Mutex.protect condition_tbl_mutex (fun () ->
+        match Hashtbl.find_opt condition_tbl key with
+        | Some c -> c
+        | None ->
+            let c = { cell_mutex = Mutex.create (); cell_models = None } in
+            Hashtbl.add condition_tbl key c;
+            c)
+  in
+  Mutex.protect cell.cell_mutex (fun () ->
+      match cell.cell_models with
+      | Some m -> m
+      | None ->
+          let m = build ~tuned (Device.create ~temp ~fermi ()) in
+          cell.cell_models <- Some m;
+          m)
 
 (* Reference and model characteristics over a V_DS sweep at one gate
    voltage. *)
@@ -55,7 +88,8 @@ let reference_curve m ~vgs =
   Array.map (fun vds -> Fettoy.ids m.reference ~vgs ~vds) vds_points
 
 let model_curve model ~vgs =
-  Array.map (fun vds -> Cnt_model.ids model ~vgs ~vds) vds_points
+  let g = Cnt_model.eval_batch model ~vgs:[| vgs |] ~vds:vds_points in
+  Array.init (Array.length vds_points) (fun j -> Bigarray.Array2.get g 0 j)
 
 (* The paper's table-I workload: one full family of output
    characteristics (7 gate curves x 61 drain points = 427 bias

@@ -29,10 +29,16 @@ val build : ?tuned:bool -> Device.t -> models
 
 val condition : ?tuned:bool -> temp:float -> fermi:float -> unit -> models
 (** {!build} on the paper's default device at a given temperature and
-    Fermi level. *)
+    Fermi level.  Memoised per [(tuned, temp, fermi)] — the corner
+    grids of the RMS tables and the repro experiments share one fit per
+    condition instead of redoing the boundary optimisation; safe to
+    call concurrently from pool workers. *)
 
 val reference_curve : models -> vgs:float -> float array
+
 val model_curve : Cnt_model.t -> vgs:float -> float array
+(** Model drain currents over {!vds_points}, evaluated through
+    {!Cnt_model.eval_batch} (bitwise-equal to the scalar loop). *)
 
 val family_size : int
 (** Bias points in one table-I workload (7 x 61). *)

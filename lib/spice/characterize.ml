@@ -49,9 +49,12 @@ let supply_energy result ~vdd_name ~vdd ~t0 ~t1 =
    [build] receives the input and output node names and returns the
    cell elements (e.g. a Stdcells.inverter application).  The stimulus
    is a full-swing pulse: rise at [t_edge], fall at [t_edge + width]. *)
+let input_node = "char_in"
+let output_node = "char_out"
+
 let inverting_cell ?(vdd = 0.6) ?(t_edge = 1e-9) ?(width = 4e-9)
     ?(edge_time = 20e-12) ?(tstep = 5e-12) ?policy ~vdd_name ~build () =
-  let input = "char_in" and output = "char_out" in
+  let input = input_node and output = output_node in
   let stimulus =
     Circuit.vsource "vchar_in" input "0"
       (Waveform.pulse ~delay:t_edge ~rise:edge_time ~fall:edge_time ~v1:0.0
@@ -152,6 +155,14 @@ let characterize_corners ?jobs ?t_edge ?width ?tstep ?policy ~vdd_name ~build
     else match jobs with Some j -> j | None -> Pool.default_jobs ()
   in
   let corners = Array.of_list corners in
+  (* The cell's node names are fixed and its element list does not
+     depend on the corner (only the stimulus and supply do), so the
+     potentially expensive model fits inside [build] happen once here
+     instead of once per corner.  Model evaluation is read-only with
+     slot-sharded caches, so sharing the elements across pool workers
+     is safe. *)
+  let elements = build ~input:input_node ~output:output_node in
+  let build ~input:_ ~output:_ = elements in
   Pool.with_pool ~jobs (fun pool ->
       Pool.parallel_map pool ~chunk:1
         (fun c ->

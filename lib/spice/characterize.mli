@@ -59,7 +59,10 @@ val characterize_corners :
   (corner * timing) array
 (** Run {!inverting_cell} at every corner, fanning the independent
     transient runs out over [jobs] domains (default
-    [Cnt_par.Pool.default_jobs]).  Results land in corner order and are
-    identical at any job count.  Raises {!Characterisation_error} as
-    {!inverting_cell} does; the failure surfaced is that of the
-    lowest-indexed failing corner. *)
+    [Cnt_par.Pool.default_jobs]).  [build] is invoked {e once} and the
+    resulting elements shared across corners — the cell is
+    corner-independent (only supply and stimulus vary), so any model
+    fitting inside [build] is not repeated per corner.  Results land in
+    corner order and are identical at any job count.  Raises
+    {!Characterisation_error} as {!inverting_cell} does; the failure
+    surfaced is that of the lowest-indexed failing corner. *)

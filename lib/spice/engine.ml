@@ -20,6 +20,8 @@ type config = {
   tol : float;
   max_iter : int;
   homotopy : Homotopy.policy;
+  cache : Cnt_core.Eval_cache.config option;
+      (* None: leave each model's cache as constructed *)
 }
 
 let default_config =
@@ -30,6 +32,7 @@ let default_config =
     tol = 1e-9;
     max_iter = 200;
     homotopy = Homotopy.default;
+    cache = None;
   }
 
 let default_prints circuit prints =
@@ -194,8 +197,23 @@ let tran_table ?(config = default_config) circuit prints ~tstep ~tstop =
     stats = Transient.stats r;
   }
 
+(* Give every CNFET of the deck a fresh evaluation cache of the
+   configured size before any analysis runs (no-op when the config
+   leaves the cache unset). *)
+let apply_cache_config config circuit =
+  match config.cache with
+  | None -> ()
+  | Some cfg ->
+      List.iter
+        (function
+          | Circuit.Cnfet { params; _ } ->
+              Cnt_core.Cnt_model.set_cache params.Circuit.model cfg
+          | _ -> ())
+        (Circuit.elements circuit)
+
 (* Raising core shared by the result and shim entry points. *)
 let run_deck_exn ~config (deck : Parser.deck) =
+  apply_cache_config config deck.Parser.circuit;
   List.map
     (fun analysis ->
       match analysis with

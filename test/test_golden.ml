@@ -1,0 +1,181 @@
+(* Golden-oracle and golden-file layer.
+
+   Part 1 is a differential test against the FETToy numeric oracle on
+   the corner grid (T in {150, 300, 450} K, E_F in {-0.5, -0.32, 0}
+   eV).  The paper's headline accuracy claim — drain-current RMS error
+   under 5 % for Model 1 and 2 % for Model 2 — is pinned at the
+   central operating condition it is stated for (300 K, -0.32 eV);
+   the other corners are pinned to measured regression envelopes
+   (Model 1 degrades to ~15 % at 150 K and Model 2 to ~3.8 % at 450 K
+   with the deep -0.5 eV Fermi level, so the headline bounds do not
+   extend there).
+
+   Part 2 pins CLI output byte-for-byte against committed golden files
+   in test/golden/: cspice on the two committed golden decks and
+   `repro --list`.  To regenerate the goldens after an intentional
+   output change, run from the project root:
+
+     CNT_BLESS=1 dune exec test/test_golden.exe
+
+   which rewrites test/golden/*.out in the source tree (the bless path
+   resolves relative to the cwd, so run it from the root) and then
+   re-checks against the fresh files. *)
+
+open Cnt_numerics
+open Cnt_experiments
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Resolve build-tree files relative to this executable so the suite
+   behaves the same under `dune runtest` (cwd = test dir in _build) and
+   `dune exec test/test_golden.exe` (cwd = project root). *)
+let test_dir = Filename.dirname Sys.executable_name
+let in_test_dir path = Filename.concat test_dir path
+let blessing = Sys.getenv_opt "CNT_BLESS" = Some "1"
+
+(* ------------------------------------------------------------------ *)
+(* Corner-grid RMS oracle                                              *)
+(* ------------------------------------------------------------------ *)
+
+let corner_temps = [ 150.0; 300.0; 450.0 ]
+let corner_fermis = [ -0.5; -0.32; 0.0 ]
+let corner_vgs = [ 0.4; 0.5; 0.6 ]
+
+let rms_errors m ~vgs =
+  let reference = Workloads.reference_curve m ~vgs in
+  ( Stats.relative_rms_error reference
+      (Workloads.model_curve m.Workloads.model1 ~vgs),
+    Stats.relative_rms_error reference
+      (Workloads.model_curve m.Workloads.model2 ~vgs) )
+
+(* The paper's stated accuracy at its operating condition. *)
+let test_central_rms () =
+  let m = Workloads.condition ~temp:300.0 ~fermi:(-0.32) () in
+  List.iter
+    (fun vgs ->
+      let e1, e2 = rms_errors m ~vgs in
+      if e1 >= 0.05 then
+        Alcotest.failf "model1 RMS %.3f%% >= 5%% at vgs=%g" (100.0 *. e1) vgs;
+      if e2 >= 0.02 then
+        Alcotest.failf "model2 RMS %.3f%% >= 2%% at vgs=%g" (100.0 *. e2) vgs)
+    corner_vgs
+
+(* Regression envelopes over the full grid: measured worst cases are
+   15.2 % (model 1, 150 K / -0.32 eV) and 3.8 % (model 2, 450 K /
+   -0.5 eV); the bounds below lock those in with a small margin. *)
+let test_corner_rms () =
+  List.iter
+    (fun temp ->
+      List.iter
+        (fun fermi ->
+          let m = Workloads.condition ~temp ~fermi () in
+          List.iter
+            (fun vgs ->
+              let e1, e2 = rms_errors m ~vgs in
+              if e1 >= 0.16 then
+                Alcotest.failf
+                  "model1 RMS %.3f%% >= 16%% at T=%g K, Ef=%g eV, vgs=%g"
+                  (100.0 *. e1) temp fermi vgs;
+              if e2 >= 0.045 then
+                Alcotest.failf
+                  "model2 RMS %.3f%% >= 4.5%% at T=%g K, Ef=%g eV, vgs=%g"
+                  (100.0 *. e2) temp fermi vgs)
+            corner_vgs)
+        corner_fermis)
+    corner_temps
+
+(* ------------------------------------------------------------------ *)
+(* Golden CLI output                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let exe name =
+  in_test_dir (Filename.concat ".." (Filename.concat "bin" (name ^ ".exe")))
+
+(* Run a command, capture stdout; fail on a non-zero exit or stderr
+   noise leaking into the golden. *)
+let capture_stdout cmd =
+  let out = Filename.temp_file "cnt_golden" ".out" in
+  let err = Filename.temp_file "cnt_golden" ".err" in
+  let code = Sys.command (Printf.sprintf "%s > %s 2> %s" cmd out err) in
+  let stdout_text = read_file out in
+  let stderr_text = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  if code <> 0 then
+    Alcotest.failf "command %s exited %d\nstderr:\n%s" cmd code stderr_text;
+  stdout_text
+
+let check_golden ~name actual =
+  if blessing then begin
+    write_file (Filename.concat "test/golden" (name ^ ".out")) actual;
+    Printf.printf "blessed test/golden/%s.out (%d bytes)\n%!" name
+      (String.length actual)
+  end
+  else begin
+    let path = in_test_dir (Filename.concat "golden" (name ^ ".out")) in
+    let expected =
+      try read_file path
+      with Sys_error _ ->
+        Alcotest.failf
+          "missing golden file %s (regenerate with CNT_BLESS=1 dune exec \
+           test/test_golden.exe from the project root)"
+          path
+    in
+    if expected <> actual then
+      Alcotest.failf
+        "%s: output differs from golden %s\n--- expected ---\n%s--- actual \
+         ---\n%s(regenerate with CNT_BLESS=1 dune exec test/test_golden.exe \
+         if the change is intentional)"
+        name path expected actual
+  end
+
+let test_cspice_golden deck () =
+  let out =
+    capture_stdout
+      (Printf.sprintf "%s %s" (exe "cspice")
+         (in_test_dir (Filename.concat "decks" (deck ^ ".cir"))))
+  in
+  check_golden ~name:deck out
+
+let test_repro_list_golden () =
+  check_golden ~name:"repro_list"
+    (capture_stdout (Printf.sprintf "%s --list" (exe "repro")))
+
+(* The golden decks must produce identical bytes with the cache forced
+   on (quantum 0): the cache is observationally invisible. *)
+let test_cspice_cache_invariant () =
+  let deck = in_test_dir (Filename.concat "decks" "golden_inverter.cir") in
+  let base = capture_stdout (Printf.sprintf "%s %s" (exe "cspice") deck) in
+  let cached =
+    capture_stdout
+      (Printf.sprintf "%s --cache 4096 %s" (exe "cspice") deck)
+  in
+  Alcotest.(check string) "cache on = cache off" base cached
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "cnt_golden"
+    [
+      ( "oracle",
+        [
+          tc "central-condition RMS vs Fettoy" test_central_rms;
+          tc "corner-grid RMS envelope" test_corner_rms;
+        ] );
+      ( "cli",
+        [
+          tc "cspice golden_divider" (test_cspice_golden "golden_divider");
+          tc "cspice golden_inverter" (test_cspice_golden "golden_inverter");
+          tc "repro --list" test_repro_list_golden;
+          tc "cache invariance" test_cspice_cache_invariant;
+        ] );
+    ]

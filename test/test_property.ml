@@ -1,0 +1,252 @@
+(* Property layer locking down the closed-form solver and the batched /
+   cached evaluation paths:
+
+   - the closed-form V_SC root agrees with a bisection oracle on the
+     monotone residual to 1e-9, over random (T, E_F, V_GS, V_DS)
+     tuples for both paper models;
+   - [Cnt_model.eval_batch] is bitwise-equal to the scalar [ids] loop,
+     cache off, cache on, quantised, and for p-type devices;
+   - the evaluation cache is invisible ([quantum = 0] results are
+     bitwise-identical on/off) and its hit/miss/eviction statistics
+     behave as documented even under forced evictions. *)
+
+open Cnt_numerics
+open Cnt_physics
+open Cnt_core
+
+let bits = Int64.bits_of_float
+
+let check_bitwise msg a b =
+  if bits a <> bits b then
+    Alcotest.failf "%s: %.17g (%Lx) <> %.17g (%Lx)" msg a (bits a) b (bits b)
+
+(* Random operating conditions drawn once, shared by the oracle and
+   batch tests.  Conditions group several bias points per fitted model
+   so the (expensive) fits stay a small multiple of the condition
+   count while the bias tuples cover the full 4-d space. *)
+let conditions = 8
+let points_per_condition = 25
+
+let sample_condition rng =
+  let temp = Prng.uniform_range rng ~lo:150.0 ~hi:450.0 in
+  let fermi = Prng.uniform_range rng ~lo:(-0.5) ~hi:0.0 in
+  (temp, fermi)
+
+let sample_bias rng =
+  let vgs = Prng.uniform_range rng ~lo:0.0 ~hi:0.6 in
+  let vds = Prng.uniform_range rng ~lo:0.0 ~hi:0.6 in
+  (vgs, vds)
+
+(* ------------------------------------------------------------------ *)
+(* Closed-form roots vs a bisection oracle                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The residual F is strictly increasing, so bisection on a widening
+   bracket is an independent oracle for the unique root the closed-form
+   scan-and-solve path claims to find. *)
+let oracle_root solver ~qt ~vds =
+  let f v = Scv_solver.residual solver ~qt ~vds v in
+  let rec bracket w =
+    if w > 64.0 then Alcotest.failf "oracle: no sign change within [-64, 64]"
+    else if f (-.w) < 0.0 && f w > 0.0 then w
+    else bracket (2.0 *. w)
+  in
+  let w = bracket 1.0 in
+  (Rootfind.bisect ~tol:1e-12 ~max_iter:200 f (-.w) w).Rootfind.root
+
+let test_oracle_agreement spec () =
+  let rng = Prng.create ~seed:0x5eedL () in
+  for _c = 1 to conditions do
+    let temp, fermi = sample_condition rng in
+    let device = Device.create ~temp ~fermi () in
+    let model = Cnt_model.make ~spec device in
+    let solver = Cnt_model.solver model in
+    for _p = 1 to points_per_condition do
+      let vgs, vds = sample_bias rng in
+      let qt = Device.terminal_charge device ~vgs ~vds in
+      let closed = Scv_solver.solve solver ~qt ~vds in
+      let oracle = oracle_root solver ~qt ~vds in
+      if Float.abs (closed -. oracle) > 1e-9 then
+        Alcotest.failf
+          "closed-form root %.15g vs oracle %.15g (T=%g, Ef=%g, vgs=%g, \
+           vds=%g)"
+          closed oracle temp fermi vgs vds
+    done
+  done
+
+(* solve_plan must replay solve exactly, point by point *)
+let test_plan_bitwise () =
+  let rng = Prng.create ~seed:0x9a7eL () in
+  let device = Device.default in
+  let model = Cnt_model.model2 ~device () in
+  let solver = Cnt_model.solver model in
+  for _ = 1 to 50 do
+    let vgs, vds = sample_bias rng in
+    let qt = Device.terminal_charge device ~vgs ~vds in
+    let plan = Scv_solver.plan solver ~vds in
+    check_bitwise "solve_plan vs solve"
+      (Scv_solver.solve solver ~qt ~vds)
+      (Scv_solver.solve_plan plan ~qt)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* eval_batch vs scalar ids, across cache configurations               *)
+(* ------------------------------------------------------------------ *)
+
+let vgs_grid = [| 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.33 |]
+let vds_grid = Grid.linspace 0.0 0.6 13
+
+let check_batch_matches_scalar msg model =
+  let g = Cnt_model.eval_batch model ~vgs:vgs_grid ~vds:vds_grid in
+  Array.iteri
+    (fun i vgs ->
+      Array.iteri
+        (fun j vds ->
+          check_bitwise
+            (Printf.sprintf "%s (vgs=%g, vds=%g)" msg vgs vds)
+            (Cnt_model.ids model ~vgs ~vds)
+            (Bigarray.Array2.get g i j))
+        vds_grid)
+    vgs_grid
+
+let grid_currents model =
+  Array.map
+    (fun vgs -> Array.map (fun vds -> Cnt_model.ids model ~vgs ~vds) vds_grid)
+    vgs_grid
+
+let check_grids_bitwise msg a b =
+  Array.iteri
+    (fun i row -> Array.iteri (fun j x -> check_bitwise msg x b.(i).(j)) row)
+    a
+
+let test_batch_bitwise polarity () =
+  let model = Cnt_model.model2 ~polarity () in
+  Cnt_model.set_cache model Eval_cache.disabled;
+  check_batch_matches_scalar "cache off" model;
+  Cnt_model.set_cache model { Eval_cache.size = 256; quantum = 0.0 };
+  check_batch_matches_scalar "cache on" model
+
+let test_cache_transparent () =
+  let model = Cnt_model.model1 () in
+  Cnt_model.set_cache model Eval_cache.disabled;
+  let uncached = grid_currents model in
+  Cnt_model.set_cache model { Eval_cache.size = 512; quantum = 0.0 };
+  (* first pass populates, second pass replays hits *)
+  check_grids_bitwise "cache populate" (grid_currents model) uncached;
+  check_grids_bitwise "cache hit" (grid_currents model) uncached;
+  let stats = Cnt_model.cache_stats model in
+  Alcotest.(check bool) "second pass hit" true (stats.Eval_cache.hits > 0);
+  (* the vsc/charges paths go through the same cache *)
+  Cnt_model.set_cache model Eval_cache.disabled;
+  let v_off = Cnt_model.solve_vsc model ~vgs:0.42 ~vds:0.37 in
+  let _, qs_off, qd_off = Cnt_model.charges model ~vgs:0.42 ~vds:0.37 in
+  Cnt_model.set_cache model { Eval_cache.size = 64; quantum = 0.0 };
+  check_bitwise "solve_vsc cached" v_off (Cnt_model.solve_vsc model ~vgs:0.42 ~vds:0.37);
+  let _, qs_on, qd_on = Cnt_model.charges model ~vgs:0.42 ~vds:0.37 in
+  check_bitwise "charges qs" qs_off qs_on;
+  check_bitwise "charges qd" qd_off qd_on
+
+(* With a positive quantum, a cached (or batched) evaluation equals the
+   uncached evaluation at the snapped bias — results are a pure
+   function of the quantised bias, never of cache state. *)
+let test_quantised_semantics () =
+  let q = 1e-3 in
+  let snap v = Float.round (v /. q) *. q in
+  let model = Cnt_model.model2 () in
+  let rng = Prng.create ~seed:0xdeadL () in
+  for _ = 1 to 40 do
+    let vgs, vds = sample_bias rng in
+    Cnt_model.set_cache model Eval_cache.disabled;
+    let exact_at_snap = Cnt_model.ids model ~vgs:(snap vgs) ~vds:(snap vds) in
+    Cnt_model.set_cache model { Eval_cache.size = 256; quantum = q };
+    check_bitwise "quantised scalar" exact_at_snap (Cnt_model.ids model ~vgs ~vds)
+  done;
+  (* batch under quantisation matches the scalar quantised path *)
+  Cnt_model.set_cache model { Eval_cache.size = 256; quantum = q };
+  check_batch_matches_scalar "quantised batch" model
+
+let test_family_and_transfer_consistent () =
+  let model = Cnt_model.model2 () in
+  Cnt_model.set_cache model Eval_cache.disabled;
+  let vgs_list = [ 0.3; 0.45; 0.6 ] in
+  let fam = Cnt_model.output_family model ~vgs_list ~vds_points:vds_grid in
+  List.iter
+    (fun (vgs, row) ->
+      Array.iteri
+        (fun j vds ->
+          check_bitwise "output_family" (Cnt_model.ids model ~vgs ~vds) row.(j))
+        vds_grid)
+    fam;
+  let tr = Cnt_model.transfer model ~vds:0.5 ~vgs_points:vgs_grid in
+  Array.iteri
+    (fun i vgs ->
+      check_bitwise "transfer" (Cnt_model.ids model ~vgs ~vds:0.5) tr.(i))
+    vgs_grid
+
+(* ------------------------------------------------------------------ *)
+(* Cache statistics under forced evictions                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_eviction_counters () =
+  let model = Cnt_model.model1 () in
+  Cnt_model.set_cache model { Eval_cache.size = 2; quantum = 0.0 };
+  (* same point twice: second is a hit *)
+  ignore (Cnt_model.ids model ~vgs:0.5 ~vds:0.4);
+  ignore (Cnt_model.ids model ~vgs:0.5 ~vds:0.4);
+  let s1 = Cnt_model.cache_stats model in
+  Alcotest.(check bool) "repeat hits" true (s1.Eval_cache.hits >= 1);
+  (* 50 distinct keys through 2 lines force evictions, and results stay
+     bitwise-correct throughout *)
+  let reference = Cnt_model.model1 () in
+  Cnt_model.set_cache reference Eval_cache.disabled;
+  for i = 0 to 49 do
+    let vgs = 0.1 +. (0.01 *. float_of_int i) in
+    check_bitwise "evicting cache correctness"
+      (Cnt_model.ids reference ~vgs ~vds:0.3)
+      (Cnt_model.ids model ~vgs ~vds:0.3)
+  done;
+  let s2 = Cnt_model.cache_stats model in
+  Alcotest.(check bool) "misses counted" true (s2.Eval_cache.misses >= 50);
+  Alcotest.(check bool) "evictions counted" true (s2.Eval_cache.evictions >= 1);
+  Alcotest.(check bool) "monotone hits" true (s2.Eval_cache.hits >= s1.Eval_cache.hits)
+
+let test_config_strings () =
+  let round s =
+    match Eval_cache.config_of_string s with
+    | Ok c -> Eval_cache.config_to_string c
+    | Error msg -> Alcotest.failf "parse %S: %s" s msg
+  in
+  Alcotest.(check string) "size only" "4096" (round "4096");
+  Alcotest.(check string) "size+quantum" "512:0.001" (round "512:1e-3");
+  Alcotest.(check string) "disabled" "0" (round "0");
+  List.iter
+    (fun s ->
+      match Eval_cache.config_of_string s with
+      | Ok _ -> Alcotest.failf "expected %S to be rejected" s
+      | Error _ -> ())
+    [ "-1"; "abc"; "4096:"; "4096:-2"; "4096:nan"; ":1e-3" ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "cnt_property"
+    [
+      ( "oracle",
+        [
+          tc "model1 roots vs bisection" (test_oracle_agreement Charge_fit.model1_spec);
+          tc "model2 roots vs bisection" (test_oracle_agreement Charge_fit.model2_spec);
+          tc "solve_plan bitwise" test_plan_bitwise;
+        ] );
+      ( "batch",
+        [
+          tc "n-type bitwise" (test_batch_bitwise Cnt_model.N_type);
+          tc "p-type bitwise" (test_batch_bitwise Cnt_model.P_type);
+          tc "family and transfer" test_family_and_transfer_consistent;
+        ] );
+      ( "cache",
+        [
+          tc "transparent" test_cache_transparent;
+          tc "quantised semantics" test_quantised_semantics;
+          tc "eviction counters" test_eviction_counters;
+          tc "config strings" test_config_strings;
+        ] );
+    ]
