@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test check bench obs-smoke obs-bench par-check par-bench conv-check conv-smoke conv-bench cache-check cache-smoke cache-bench repro clean
+.PHONY: all build test check bench obs-smoke obs-bench par-check par-bench conv-check conv-smoke conv-bench cache-check cache-smoke cache-bench asm-check asm-smoke asm-bench repro clean
 
 all: build
 
@@ -55,6 +55,21 @@ conv-bench:
 cache-check:
 	CNT_CACHE=4096 CNT_JOBS=1 dune runtest --force
 	CNT_CACHE=4096 CNT_JOBS=4 dune runtest --force
+
+# Assembly equivalence gate: the full suite with CNFET stamp assembly
+# forced scalar and forced batched (see docs/ASSEMBLY.md).
+asm-check:
+	CNT_ASSEMBLY=scalar dune runtest --force
+	CNT_ASSEMBLY=batched dune runtest --force
+
+# Quick assembly-mode smoke run (1 repeat; prints JSON to stdout).
+asm-smoke:
+	@dune exec bench/main.exe -- assembly-json --smoke
+
+# Full assembly-mode benchmark; refreshes the committed artefact.
+asm-bench:
+	dune exec bench/main.exe -- assembly-json > results/BENCH_assembly.json
+	@tail -n +2 results/BENCH_assembly.json | head -n 8
 
 # Quick cache/batch smoke run (2 repeats; prints JSON to stdout).
 cache-smoke:

@@ -23,6 +23,43 @@ let solver_arg =
     & opt backend_conv Cnt_numerics.Linear_solver.Auto
     & info [ "solver" ] ~docv:"BACKEND" ~doc)
 
+let ordering_arg =
+  let ordering_conv =
+    Arg.enum
+      [
+        ("natural", Cnt_numerics.Linear_solver.Natural);
+        ("amd", Cnt_numerics.Linear_solver.Amd);
+      ]
+  in
+  let doc =
+    "Sparse fill-reducing ordering: $(b,natural) keeps the netlist's unknown \
+     numbering, $(b,amd) permutes by greedy minimum degree to cut \
+     factorisation fill on large circuits.  Only affects the sparse backend.  \
+     See docs/SOLVER.md."
+  in
+  Arg.(
+    value
+    & opt (some ordering_conv) None
+    & info [ "ordering" ] ~docv:"ORD" ~doc ~env:(Cmd.Env.info "CNT_ORDERING"))
+
+let assembly_arg =
+  let assembly_conv =
+    Arg.enum
+      [
+        ("scalar", Cnt_spice.Mna.Scalar); ("batched", Cnt_spice.Mna.Batched);
+      ]
+  in
+  let doc =
+    "CNFET stamp assembly: $(b,batched) (default) gathers all device bias \
+     points per Newton iteration and evaluates them through one batched \
+     kernel; $(b,scalar) evaluates each device inside the stamping loop.  \
+     Waveforms are byte-identical in either mode.  See docs/ASSEMBLY.md."
+  in
+  Arg.(
+    value
+    & opt (some assembly_conv) None
+    & info [ "assembly" ] ~docv:"MODE" ~doc ~env:(Cmd.Env.info "CNT_ASSEMBLY"))
+
 let gmin_arg =
   let doc = "Target minimum node-to-ground conductance, siemens." in
   Arg.(value & opt float 1e-12 & info [ "gmin" ] ~docv:"G" ~doc)
@@ -80,10 +117,12 @@ let cache_arg =
     & opt (some cache_conv) None
     & info [ "cache" ] ~docv:"SPEC" ~doc ~env:(Cmd.Env.info "CNT_CACHE"))
 
-let make solver jobs gmin tol max_iter no_homotopy gmin_start gmin_steps
-    source_steps cache =
+let make solver ordering assembly jobs gmin tol max_iter no_homotopy
+    gmin_start gmin_steps source_steps cache =
   {
     Cnt_spice.Engine.backend = solver;
+    ordering;
+    assembly;
     jobs;
     gmin;
     tol;
@@ -102,6 +141,6 @@ let make solver jobs gmin tol max_iter no_homotopy gmin_start gmin_steps
 
 let term =
   Term.(
-    const make $ solver_arg $ Cli_jobs.arg $ gmin_arg $ tol_arg $ max_iter_arg
-    $ no_homotopy_arg $ gmin_start_arg $ gmin_steps_arg $ source_steps_arg
-    $ cache_arg)
+    const make $ solver_arg $ ordering_arg $ assembly_arg $ Cli_jobs.arg
+    $ gmin_arg $ tol_arg $ max_iter_arg $ no_homotopy_arg $ gmin_start_arg
+    $ gmin_steps_arg $ source_steps_arg $ cache_arg)

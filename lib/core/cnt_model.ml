@@ -244,6 +244,119 @@ let gm ?(dv = 1e-4) t ~vgs ~vds =
 let gds ?(dv = 1e-4) t ~vgs ~vds =
   (ids t ~vgs ~vds:(vds +. dv) -. ids t ~vgs ~vds:(vds -. dv)) /. (2.0 *. dv)
 
+type vec = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* The three reusable solver plans behind one stencil evaluation (bias
+   point, vds + dv, vds - dv).  One workspace serves one domain at a
+   time: assembly code keeps a workspace per device per cloned system,
+   never sharing across concurrently-solving clones. *)
+type stencil_ws = {
+  sw0 : Scv_solver.plan;
+  swp : Scv_solver.plan;
+  swm : Scv_solver.plan;
+}
+
+let stencil_ws t =
+  {
+    sw0 = Scv_solver.plan t.solver ~vds:0.0;
+    swp = Scv_solver.plan t.solver ~vds:0.0;
+    swm = Scv_solver.plan t.solver ~vds:0.0;
+  }
+
+(* The MNA stencil — [ids] at the bias point plus the four
+   central-difference evaluations behind [gm]/[gds] — as one batched
+   kernel writing slot [k] of three output columns.  The per-point
+   program is [solve_point] with the gate/drain capacitances hoisted
+   (they are pure per-device values, recomputed per call by
+   [Device.terminal_charge]) and [Scv_solver.solve] replaced by the
+   bitwise-equal [solve_plan]; the three solver plans (vds, vds+dv,
+   vds-dv) are built at the cache-quantised drain bias exactly as
+   [eval_batch] does, so the cache composes identically in both
+   directions: batched assembly populates and hits the same per-slot
+   store as scalar assembly, key for key.
+
+   [fault_i0] reproduces the scalar assembly's [Fault.Nan_eval] site:
+   the bias-point current becomes NaN {e without} evaluating the model
+   there (no counter tick, no cache insertion), while the four
+   derivative points still evaluate — [Fault.fires] is stateless, so
+   hoisting the decision out of the assembly loop cannot change it. *)
+let eval_stencil ?(dv = 1e-4) ?ws t ~fault_i0 ~vgs ~vds ~i0 ~gm ~gds ~k =
+  let use_cache = Eval_cache.enabled t.cache in
+  let cg = Device.c_gate t.device and cd = Device.c_drain t.device in
+  let fermi = t.device.Device.fermi in
+  let kt = t.kt_ev and scale = t.current_scale in
+  let point plan ~ovgs ~qvds =
+    Obs.incr c_ids_evals;
+    let i =
+      if use_cache then
+        let compute ~vgs ~vds =
+          let qt = (cg *. vgs) +. (cd *. vds) in
+          let vsc = Scv_solver.solve_plan plan ~qt in
+          let eta_s = (fermi -. vsc) /. kt in
+          let eta_d = eta_s -. (vds /. kt) in
+          ( vsc,
+            scale
+            *. (Fermi.integral_order0 eta_s -. Fermi.integral_order0 eta_d) )
+        in
+        snd (Eval_cache.find_or_add t.cache ~vgs:ovgs ~vds:qvds compute)
+      else begin
+        (* the cache closure's program, inlined so the uncached hot
+           path allocates neither the closure nor its result pair *)
+        let qt = (cg *. ovgs) +. (cd *. qvds) in
+        let vsc = Scv_solver.solve_plan plan ~qt in
+        let eta_s = (fermi -. vsc) /. kt in
+        let eta_d = eta_s -. (qvds /. kt) in
+        scale *. (Fermi.integral_order0 eta_s -. Fermi.integral_order0 eta_d)
+      end
+    in
+    match t.polarity with N_type -> i | P_type -> -.i
+  in
+  (* [oriented] without its tuple: the sign flip is the same [-.] the
+     tuple form applies *)
+  let flip = match t.polarity with N_type -> false | P_type -> true in
+  let ori v = if flip then -.v else v in
+  let ovgs0 = ori vgs and ovds0 = ori vds in
+  let q0 = Eval_cache.quantise t.cache ovds0 in
+  let plan0 =
+    match ws with
+    | Some w ->
+        Scv_solver.replan w.sw0 ~vds:q0;
+        w.sw0
+    | None -> Scv_solver.plan t.solver ~vds:q0
+  in
+  let i0v = if fault_i0 then Float.nan else point plan0 ~ovgs:ovgs0 ~qvds:q0 in
+  let ovgs_p = ori (vgs +. dv) in
+  let ovgs_m = ori (vgs -. dv) in
+  let gmv =
+    (point plan0 ~ovgs:ovgs_p ~qvds:q0 -. point plan0 ~ovgs:ovgs_m ~qvds:q0)
+    /. (2.0 *. dv)
+  in
+  let ovds_p = ori (vds +. dv) in
+  let ovds_m = ori (vds -. dv) in
+  let qp = Eval_cache.quantise t.cache ovds_p in
+  let qm = Eval_cache.quantise t.cache ovds_m in
+  let plan_p =
+    match ws with
+    | Some w ->
+        Scv_solver.replan w.swp ~vds:qp;
+        w.swp
+    | None -> Scv_solver.plan t.solver ~vds:qp
+  in
+  let plan_m =
+    match ws with
+    | Some w ->
+        Scv_solver.replan w.swm ~vds:qm;
+        w.swm
+    | None -> Scv_solver.plan t.solver ~vds:qm
+  in
+  let gdsv =
+    (point plan_p ~ovgs:ovgs0 ~qvds:qp -. point plan_m ~ovgs:ovgs0 ~qvds:qm)
+    /. (2.0 *. dv)
+  in
+  Bigarray.Array1.unsafe_set i0 k i0v;
+  Bigarray.Array1.unsafe_set gm k gmv;
+  Bigarray.Array1.unsafe_set gds k gdsv
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>%s model (%s, %d pieces, charge RMS %.3f%%)@ %a@]"
     (match t.polarity with N_type -> "n-type" | P_type -> "p-type")

@@ -110,4 +110,39 @@ val gm : ?dv:float -> t -> vgs:float -> vds:float -> float
 val gds : ?dv:float -> t -> vgs:float -> vds:float -> float
 (** Output conductance [dI/dV_DS] by central difference. *)
 
+type vec = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type stencil_ws
+(** Reusable workspace for {!eval_stencil}: the three solver plans one
+    stencil evaluation retargets each call.  A workspace belongs to the
+    model that created it and must not be shared between domains
+    evaluating concurrently (keep one per device per cloned system). *)
+
+val stencil_ws : t -> stencil_ws
+
+val eval_stencil :
+  ?dv:float ->
+  ?ws:stencil_ws ->
+  t ->
+  fault_i0:bool ->
+  vgs:float ->
+  vds:float ->
+  i0:vec ->
+  gm:vec ->
+  gds:vec ->
+  k:int ->
+  unit
+(** The MNA assembly stencil as one batched kernel: writes slot [k] of
+    the three output columns with [ids t ~vgs ~vds] and the
+    central-difference [gm]/[gds] at step [dv], hoisting the three
+    per-drain-bias solver plans and the device capacitances out of the
+    five point evaluations.  With [ws] the plans reuse the workspace's
+    storage ({!Scv_solver.replan}) instead of allocating.  Each value
+    is {e bitwise-equal} to the scalar calls under any cache
+    configuration, and cache entries are shared key-for-key with the
+    scalar path (pinned by [test/test_assembly.ml]).  [fault_i0]
+    reproduces the scalar assembly's [Fault.Nan_eval] behaviour: the
+    bias-point current is NaN and that point is not evaluated, while
+    the derivative points still are. *)
+
 val pp : Format.formatter -> t -> unit

@@ -20,6 +20,16 @@ module Obs = Cnt_obs.Obs
 type t = {
   qs : Piecewise.t; (* source charge vs V_SC, C/m *)
   c_sigma : float; (* F/m *)
+  sbs : float array; (* cached copy of the source breakpoints, ascending *)
+  scratch_len : int; (* max piece coefficient count, >= 2; sizes plan scratch *)
+  neg_pieces : Polynomial.t array;
+      (* [Polynomial.neg] of each source piece, precomputed so interval
+         records can reference them without re-negating per plan *)
+  qpieces : Polynomial.t array; (* the source pieces themselves *)
+  sbs_qs : float array;
+      (* Q_S at each source breakpoint — the values the plan scan's
+         lazy fills would recompute for source-origin merged
+         breakpoints, hoisted to construction *)
 }
 
 (* Closed-form root evaluations by piece degree, plus the defensive
@@ -52,7 +62,31 @@ type stats = {
 
 let create ~qs ~c_sigma =
   if c_sigma <= 0.0 then invalid_arg "Scv_solver.create: c_sigma must be positive";
-  { qs; c_sigma }
+  (* cache the breakpoints ([Piecewise.boundaries] copies on every
+     call) and the widest piece, which bounds every residual
+     polynomial a plan can build *)
+  let sbs = Piecewise.boundaries qs in
+  let n = Array.length sbs in
+  let scratch_len = ref 2 in
+  for k = 0 to n do
+    let x =
+      if n = 0 then 0.0
+      else if k = 0 then sbs.(0) -. 1.0
+      else if k = n then sbs.(n - 1) +. 1.0
+      else 0.5 *. (sbs.(k - 1) +. sbs.(k))
+    in
+    let len = Array.length (Piecewise.piece_at qs x) in
+    if len > !scratch_len then scratch_len := len
+  done;
+  {
+    qs;
+    c_sigma;
+    sbs;
+    scratch_len = !scratch_len;
+    neg_pieces = Array.map Polynomial.neg (Piecewise.pieces qs);
+    qpieces = Piecewise.pieces qs;
+    sbs_qs = Array.map (fun b -> Piecewise.eval qs b) sbs;
+  }
 
 let qs t = t.qs
 let c_sigma t = t.c_sigma
@@ -89,12 +123,13 @@ let residual_poly t ~qt ~vds x =
    interval 0 is (-inf, b_0], interval k is (b_{k-1}, b_k], interval n
    is (b_{n-1}, +inf) — with the degenerate no-breakpoint partition
    treated as (0, +inf), matching the historical scan result. *)
-let interval_bounds bps k =
-  let n = Array.length bps in
+let interval_bounds_n bps n k =
   if n = 0 then (0.0, infinity)
   else if k = 0 then (neg_infinity, bps.(0))
   else if k = n then (bps.(n - 1), infinity)
   else (bps.(k - 1), bps.(k))
+
+let interval_bounds bps k = interval_bounds_n bps (Array.length bps) k
 
 (* the representative point selects the pieces; it must be strictly
    interior to the interval, because a point sitting exactly on a
@@ -110,7 +145,11 @@ let representative_of ~lo ~hi =
    path, so the two are the same floating-point program by
    construction. *)
 let solve_on_interval t ~qt ~vds ~lo ~hi poly =
-  let deg = Polynomial.degree poly in
+  (* both call sites hand over a trimmed polynomial (residual_poly
+     normalises; the plan path trims as it builds), so the degree read
+     and the trimmed root extraction match the historical
+     normalise-then-solve bitwise without the defensive copy *)
+  let deg = Array.length poly - 1 in
   Obs.incr c_solves;
   Obs.incr
     (match deg with
@@ -118,29 +157,30 @@ let solve_on_interval t ~qt ~vds ~lo ~hi poly =
     | 2 -> c_quadratic
     | _ -> c_linear);
   let eps = 1e-9 in
-  let in_interval r = r >= lo -. eps && r <= hi +. eps in
-  let candidates =
-    List.filter in_interval (Polynomial.real_roots_closed_form poly)
-  in
+  (* roots and the in-interval filter run over a fixed 3-cell buffer
+     ([real_roots_trimmed_into] writes bitwise what the list form
+     returns; [List.filter] order is preserved by the in-place
+     compaction), keeping root extraction off the allocator *)
+  let rbuf = Array.make 3 0.0 in
+  let nr = Polynomial.real_roots_trimmed_into poly rbuf in
+  let nc = ref 0 in
+  for i = 0 to nr - 1 do
+    let r = Array.unsafe_get rbuf i in
+    if r >= lo -. eps && r <= hi +. eps then begin
+      Array.unsafe_set rbuf !nc r;
+      incr nc
+    end
+  done;
   let clamp v = Float.min (Float.max v lo) hi in
-  match candidates with
-  | [ r ] ->
-      { vsc = clamp r; interval = (lo, hi); degree = deg; used_fallback = false }
-  | r :: _ :: _ ->
-      (* multiple closed-form roots landed inside (degenerate shapes);
-         keep the one with the smallest residual *)
-      let best =
-        List.fold_left
-          (fun acc r ->
-            if
-              Float.abs (residual t ~qt ~vds r)
-              < Float.abs (residual t ~qt ~vds acc)
-            then r
-            else acc)
-          r candidates
-      in
-      { vsc = clamp best; interval = (lo, hi); degree = deg; used_fallback = false }
-  | [] ->
+  match !nc with
+  | 1 ->
+      {
+        vsc = clamp rbuf.(0);
+        interval = (lo, hi);
+        degree = deg;
+        used_fallback = false;
+      }
+  | 0 ->
       (* defensive fallback: bisection on a finite cover of the interval;
          not reached for well-formed monotone charge fits *)
       Obs.incr c_fallback;
@@ -154,6 +194,67 @@ let solve_on_interval t ~qt ~vds ~lo ~hi poly =
         degree = deg;
         used_fallback = true;
       }
+  | nc ->
+      (* multiple closed-form roots landed inside (degenerate shapes);
+         keep the one with the smallest residual — the fold starts from
+         the first candidate and walks all of them, mirroring the
+         historical [List.fold_left] over the full candidate list *)
+      let best = ref rbuf.(0) in
+      for i = 0 to nc - 1 do
+        let r = rbuf.(i) in
+        if
+          Float.abs (residual t ~qt ~vds r)
+          < Float.abs (residual t ~qt ~vds !best)
+        then best := r
+      done;
+      {
+        vsc = clamp !best;
+        interval = (lo, hi);
+        degree = deg;
+        used_fallback = false;
+      }
+
+(* [solve_on_interval] for the plan path: the same counters, the same
+   root extraction, filter, clamp and fallback program (bitwise — the
+   assembly equivalence suite pins plan solves against scalar ones),
+   but the roots land in the caller's scratch and only the voltage
+   comes back, keeping the per-point solve off the allocator. *)
+let solve_on_interval_vsc t ~qt ~vds ~lo ~hi ~rbuf poly =
+  let deg = Array.length poly - 1 in
+  Obs.incr c_solves;
+  Obs.incr
+    (match deg with
+    | 3 -> c_cubic
+    | 2 -> c_quadratic
+    | _ -> c_linear);
+  let eps = 1e-9 in
+  let nr = Polynomial.real_roots_trimmed_into poly rbuf in
+  let nc = ref 0 in
+  for i = 0 to nr - 1 do
+    let r = Array.unsafe_get rbuf i in
+    if r >= lo -. eps && r <= hi +. eps then begin
+      Array.unsafe_set rbuf !nc r;
+      incr nc
+    end
+  done;
+  match !nc with
+  | 1 -> Float.min (Float.max rbuf.(0) lo) hi
+  | 0 ->
+      Obs.incr c_fallback;
+      Atomic.incr fallback_total;
+      let flo = if Float.is_finite lo then lo else hi -. 10.0 in
+      let fhi = if Float.is_finite hi then hi else lo +. 10.0 in
+      (Rootfind.bisect ~tol:1e-13 (residual t ~qt ~vds) flo fhi).Rootfind.root
+  | nc ->
+      let best = ref rbuf.(0) in
+      for i = 0 to nc - 1 do
+        let r = rbuf.(i) in
+        if
+          Float.abs (residual t ~qt ~vds r)
+          < Float.abs (residual t ~qt ~vds !best)
+        then best := r
+      done;
+      Float.min (Float.max !best lo) hi
 
 let solve_stats t ~qt ~vds =
   let bps = merged_breakpoints t ~vds in
@@ -179,8 +280,20 @@ let solve t ~qt ~vds = (solve_stats t ~qt ~vds).vsc
    merged breakpoints, the charge-curve values at them, and the source
    and shifted-drain piece polynomials of every interval — hoisted out
    so a whole bias grid at one drain voltage pays for it once.  The
-   remaining per-point work is the O(breakpoints) residual scan, two
-   small polynomial subtractions and the closed-form root.
+   remaining per-point work is the O(breakpoints) residual scan, one
+   fused residual-polynomial build into plan-local scratch and the
+   closed-form root.
+
+   Plans are built lazily and cheaply: construction only merges the
+   breakpoints (a two-pointer merge over the cached sorted source
+   breakpoints and their [-vds]-shifted copies — the same ascending
+   multiset, the same dedup-against-last-kept rule as the historical
+   append+sort) and allocates the scratch; the breakpoint charge
+   values fill on first touch of each scan position and the interval
+   records (pieces pre-negated, drain piece pre-shifted) materialise
+   on first solve landing in them.  The MNA batched assembly path
+   builds three plans per device per Newton iteration, so plan
+   construction sits on the hot path alongside [solve_plan].
 
    Each precomputed part is produced by the same function calls on the
    same inputs as the scalar path, and the per-point residual
@@ -188,56 +301,259 @@ let solve t ~qt ~vds = (solve_stats t ~qt ~vds).vsc
    with e1, e2 memoised, so [solve_plan] is bitwise-equal to [solve]
    at every (qt, vds) — the property test suite pins this. *)
 
+(* [Piecewise.piece_index] and [Piecewise.eval] replicated over the
+   solver's cached copies of the boundary and piece arrays: the same
+   left-inclusive boundary rule and the same Horner program, minus the
+   call overhead — the plan scan's lazy fills run these tens of times
+   per stencil evaluation. *)
+let qs_piece_index t x =
+  let bs = t.sbs in
+  let nb = Array.length bs in
+  let i = ref 0 in
+  while !i < nb && not (x <= Array.unsafe_get bs !i) do
+    incr i
+  done;
+  !i
+
+let qs_eval t x =
+  let p = Array.unsafe_get t.qpieces (qs_piece_index t x) in
+  let acc = ref 0.0 in
+  for j = Array.length p - 1 downto 0 do
+    acc := (!acc *. x) +. Array.unsafe_get p j
+  done;
+  !acc
+
+(* A reusable interval record: [replan] just drops the [iv_set] flag
+   and [interval_of] refills the same storage, so retargeting a plan
+   allocates nothing.  [iv_npd] holds the negated vds-shifted drain
+   piece in its first [iv_nd] cells. *)
 type interval = {
-  iv_lo : float;
-  iv_hi : float;
-  iv_ps : Polynomial.t; (* source piece on this interval *)
-  iv_pd : Polynomial.t; (* drain piece, pre-shifted by vds *)
+  mutable iv_set : bool;
+  mutable iv_lo : float;
+  mutable iv_hi : float;
+  mutable iv_nps : Polynomial.t; (* negated source piece on this interval *)
+  iv_npd : float array; (* negated drain piece, pre-shifted by vds *)
+  mutable iv_nd : int; (* live coefficient count of [iv_npd] *)
 }
 
+(* A plan owns capacity for the worst-case merged-breakpoint count
+   (2 * source breakpoints); [n_bps] is the live prefix for the current
+   drain bias.  [replan] refills the same storage for a new vds, so a
+   caller that keeps a plan per device pays the allocation once and the
+   per-iteration cost is just the two-pointer merge. *)
 type plan = {
   owner : t;
-  plan_vds : float;
-  bps : float array;
-  e1 : float array; (* Q_S(b_i) *)
-  e2 : float array; (* Q_S(b_i + vds) *)
-  intervals : interval array; (* length = breakpoints + 1 *)
+  mutable primed : bool; (* false only before the first [replan] *)
+  mutable plan_vds : float;
+  bps : float array; (* capacity 2 * |sbs|; live prefix [0, n_bps) *)
+  bp_src : int array;
+      (* source-breakpoint index when [bps.(i)] is exactly [sbs.(j)]
+         (so Q_S there is the owner's precomputed [sbs_qs.(j)]), -1 for
+         shifted drain breakpoints *)
+  mutable n_bps : int;
+  e1 : float array; (* Q_S(b_i), filled on demand *)
+  e2 : float array; (* Q_S(b_i + vds), filled on demand *)
+  mutable e_filled : int; (* e1/e2 valid for indices < e_filled *)
+  ivs : interval array; (* capacity 2 * |sbs| + 1, refilled lazily *)
+  s1 : float array; (* scratch: (qt + c V) - ps accumulation *)
+  s2 : float array; (* scratch: full residual accumulation *)
+  bufs : Polynomial.t array; (* trimmed residual polynomials by length *)
+  rbuf : float array; (* root-extraction scratch, length 3 *)
 }
 
+let replan_force p ~vds =
+  let t = p.owner in
+  let sbs = t.sbs in
+  let nb = Array.length sbs in
+  let nb2 = 2 * nb in
+  let out = p.bps in
+  let src = p.bp_src in
+  let i = ref 0 and j = ref 0 and kept = ref 0 and origin = ref (-1) in
+  for _ = 1 to nb2 do
+    let v =
+      if !i >= nb then begin
+        let v = sbs.(!j) -. vds in
+        incr j;
+        origin := -1;
+        v
+      end
+      else if !j >= nb then begin
+        let v = sbs.(!i) in
+        origin := !i;
+        incr i;
+        v
+      end
+      else begin
+        let a = sbs.(!i) and b = sbs.(!j) -. vds in
+        if a <= b then begin
+          origin := !i;
+          incr i;
+          a
+        end
+        else begin
+          incr j;
+          origin := -1;
+          b
+        end
+      end
+    in
+    (* same keep rule as [merged_breakpoints]: drop only when provably
+       within 1e-15 of the last kept value *)
+    if !kept = 0 || not (Float.abs (v -. out.(!kept - 1)) <= 1e-15) then begin
+      out.(!kept) <- v;
+      src.(!kept) <- !origin;
+      incr kept
+    end
+  done;
+  p.primed <- true;
+  p.plan_vds <- vds;
+  p.n_bps <- !kept;
+  p.e_filled <- 0;
+  for k = 0 to !kept do
+    p.ivs.(k).iv_set <- false
+  done
+
+(* Retargeting at the bias the plan already holds is a no-op: every
+   derived part (breakpoints, memoised charge values, interval records)
+   is a deterministic function of (owner, vds), so keeping the warm
+   memos is bitwise-identical to rebuilding them — and it is what makes
+   plan reuse pay on quasi-static waveforms, where most devices sit at
+   an unchanged drain bias for many Newton iterations in a row.  The
+   bit comparison (rather than [=]) keeps -0.0 vs 0.0 and NaN on the
+   conservative rebuild path. *)
+let replan p ~vds =
+  if
+    p.primed
+    && Int64.equal (Int64.bits_of_float p.plan_vds) (Int64.bits_of_float vds)
+  then ()
+  else replan_force p ~vds
+
 let plan t ~vds =
-  let bps = merged_breakpoints t ~vds in
-  let n = Array.length bps in
-  let e1 = Array.map (fun b -> Piecewise.eval t.qs b) bps in
-  let e2 = Array.map (fun b -> Piecewise.eval t.qs (b +. vds)) bps in
-  let intervals =
-    Array.init (n + 1) (fun k ->
-        let lo, hi = interval_bounds bps k in
-        let x = representative_of ~lo ~hi in
-        {
-          iv_lo = lo;
-          iv_hi = hi;
-          iv_ps = Piecewise.piece_at t.qs x;
-          iv_pd = Polynomial.shift (Piecewise.piece_at t.qs (x +. vds)) vds;
-        })
+  let nb2 = 2 * Array.length t.sbs in
+  let cap = t.scratch_len in
+  let p =
+    {
+      owner = t;
+      primed = false;
+      plan_vds = 0.0;
+      bps = Array.make (Int.max 1 nb2) 0.0;
+      bp_src = Array.make (Int.max 1 nb2) (-1);
+      n_bps = 0;
+      e1 = Array.make (Int.max 1 nb2) 0.0;
+      e2 = Array.make (Int.max 1 nb2) 0.0;
+      e_filled = 0;
+      ivs =
+        Array.init (nb2 + 1) (fun _ ->
+            {
+              iv_set = false;
+              iv_lo = 0.0;
+              iv_hi = 0.0;
+              iv_nps = Polynomial.zero;
+              iv_npd = Array.make cap 0.0;
+              iv_nd = 0;
+            });
+      s1 = Array.make cap 0.0;
+      s2 = Array.make cap 0.0;
+      bufs = Array.init (cap + 1) (fun l -> Array.make l 0.0);
+      rbuf = Array.make 3 0.0;
+    }
   in
-  { owner = t; plan_vds = vds; bps; e1; e2; intervals }
+  replan p ~vds;
+  p
 
 let plan_vds p = p.plan_vds
 
+(* The interval record for slot [k], built on first use by the same
+   calls as the scalar path ([interval_bounds], [representative_of],
+   [piece_at], [shift]); pre-negating both pieces performs the [neg]
+   half of the scalar path's [sub] once per interval.  The negated
+   source piece comes straight from the owner's precomputed table, and
+   the shifted drain piece is built by {!Polynomial.shift_into} through
+   the plan's scratch (both bitwise-equal to the allocating calls they
+   replace), so the only allocations left per interval are the record
+   and the final exact-length coefficient copy. *)
+let interval_of p k =
+  let iv = p.ivs.(k) in
+  if not iv.iv_set then begin
+    let t = p.owner in
+    let lo, hi = interval_bounds_n p.bps p.n_bps k in
+    let x = representative_of ~lo ~hi in
+    let nd =
+      Polynomial.shift_into
+        t.qpieces.(qs_piece_index t (x +. p.plan_vds))
+        p.plan_vds iv.iv_npd p.s2
+    in
+    let npd = iv.iv_npd in
+    for i = 0 to nd - 1 do
+      Array.unsafe_set npd i (-.Array.unsafe_get npd i)
+    done;
+    iv.iv_lo <- lo;
+    iv.iv_hi <- hi;
+    iv.iv_nps <- t.neg_pieces.(qs_piece_index t x);
+    iv.iv_nd <- nd;
+    iv.iv_set <- true
+  end;
+  iv
+
 let solve_plan p ~qt =
   let t = p.owner in
-  let n = Array.length p.bps in
-  let rec find i =
-    if i >= n then n
-    else if
-      (t.c_sigma *. p.bps.(i)) +. qt -. p.e1.(i) -. p.e2.(i) >= 0.0
-    then i
-    else find (i + 1)
-  in
-  let k = find 0 in
-  let iv = p.intervals.(k) in
-  let poly =
-    Polynomial.(
-      sub (sub (of_coeffs [| qt; t.c_sigma |]) iv.iv_ps) iv.iv_pd)
-  in
-  (solve_on_interval t ~qt ~vds:p.plan_vds ~lo:iv.iv_lo ~hi:iv.iv_hi poly).vsc
+  let n = p.n_bps in
+  let c = t.c_sigma in
+  (* bracketing scan, memoising the breakpoint charge values on first
+     touch; the residual replays the scalar operation order *)
+  let k = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !k < n do
+    let i = !k in
+    if i >= p.e_filled then begin
+      (* a source-origin breakpoint is exactly [sbs.(j)], so Q_S there
+         is the value [create] computed by the same [Piecewise.eval];
+         drain-origin values (and every [b + vds]) depend on vds and
+         are evaluated through the inlined replica *)
+      let s = p.bp_src.(i) in
+      p.e1.(i) <-
+        (if s >= 0 then Array.unsafe_get t.sbs_qs s else qs_eval t p.bps.(i));
+      p.e2.(i) <- qs_eval t (p.bps.(i) +. p.plan_vds);
+      p.e_filled <- i + 1
+    end;
+    if (c *. p.bps.(i)) +. qt -. p.e1.(i) -. p.e2.(i) >= 0.0 then stop := true
+    else incr k
+  done;
+  let iv = interval_of p !k in
+  (* Residual polynomial [(qt + c V) - ps - pd] fused into the plan's
+     scratch: each step adds coefficient-wise against a pre-negated
+     piece over the max length and trims trailing [= 0.0]
+     coefficients — the same floating-point sums and the same trim
+     rule as [Polynomial.(sub (sub (of_coeffs [|qt; c|]) ps) pd)],
+     without the intermediate allocations. *)
+  let nps = iv.iv_nps and npd = iv.iv_npd in
+  let lnps = Array.length nps in
+  let s1 = p.s1 in
+  let l1 = if lnps > 2 then lnps else 2 in
+  for i = 0 to l1 - 1 do
+    let a = if i = 0 then qt else if i = 1 then c else 0.0 in
+    let b = if i < lnps then Array.unsafe_get nps i else 0.0 in
+    Array.unsafe_set s1 i (a +. b)
+  done;
+  let n1 = ref l1 in
+  while !n1 > 0 && s1.(!n1 - 1) = 0.0 do
+    decr n1
+  done;
+  let n1 = !n1 in
+  let lnpd = iv.iv_nd in
+  let s2 = p.s2 in
+  let l2 = if n1 > lnpd then n1 else lnpd in
+  for i = 0 to l2 - 1 do
+    let a = if i < n1 then Array.unsafe_get s1 i else 0.0 in
+    let b = if i < lnpd then Array.unsafe_get npd i else 0.0 in
+    Array.unsafe_set s2 i (a +. b)
+  done;
+  let n2 = ref l2 in
+  while !n2 > 0 && s2.(!n2 - 1) = 0.0 do
+    decr n2
+  done;
+  let n2 = !n2 in
+  let poly = p.bufs.(n2) in
+  Array.blit s2 0 poly 0 n2;
+  solve_on_interval_vsc t ~qt ~vds:p.plan_vds ~lo:iv.iv_lo ~hi:iv.iv_hi
+    ~rbuf:p.rbuf poly

@@ -57,6 +57,13 @@ type plan
 val plan : t -> vds:float -> plan
 val plan_vds : plan -> float
 
+val replan : plan -> vds:float -> unit
+(** Retarget a plan at a new drain bias, reusing its storage: after
+    [replan p ~vds], [p] is indistinguishable from [plan t ~vds] (the
+    worst-case merged-breakpoint capacity is allocated up front).
+    Assembly loops keep one plan per device and replan it each
+    iteration, keeping plan construction off the allocator. *)
+
 val solve_plan : plan -> qt:float -> float
 (** [solve_plan (plan t ~vds) ~qt] = [solve t ~qt ~vds], bitwise. *)
 

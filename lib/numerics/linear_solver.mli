@@ -13,16 +13,33 @@ exception Singular of string
 (** Raised by [solve] in any backend; wraps the backend's own
     singular-matrix exception. *)
 
+type ordering =
+  | Natural  (** keep the caller's unknown numbering *)
+  | Amd
+      (** permute by greedy minimum degree ({!Sparse.amd_order}) to
+          reduce factorisation fill; sparse backend only (dense storage
+          has no fill to reduce).  The permutation is computed once at
+          create time, cached with the compiled pattern, and applied
+          transparently: slots, residuals and solutions are all
+          expressed in the caller's original numbering. *)
+
+val ordering_name : ordering -> string
+val ordering_of_string : string -> ordering option
+
+val default_ordering : unit -> ordering
+(** The ambient ordering: [CNT_ORDERING] when set to a valid name
+    ("natural" | "amd", warning otherwise), else {!Natural}. *)
+
 module type S = sig
   type t
 
   val name : string
   (** Short identifier used in solver statistics ("dense", "sparse"). *)
 
-  val create : int -> (int * int) array -> t
-  (** [create n pattern] allocates an [n x n] system whose writable
-      locations are the (row, col) pairs of [pattern] (duplicates
-      allowed). *)
+  val create : ordering -> int -> (int * int) array -> t
+  (** [create ordering n pattern] allocates an [n x n] system whose
+      writable locations are the (row, col) pairs of [pattern]
+      (duplicates allowed). *)
 
   val dim : t -> int
 
@@ -52,6 +69,12 @@ module type S = sig
 
   val solve : t -> float array -> float array
   (** Factor the current values and solve.  Raises {!Singular}. *)
+
+  val ordering_info : t -> string * int * int
+  (** [(ordering_name, fill_natural, fill_applied)]: the ordering in
+      use plus the symbolic factorisation fill of the natural order and
+      of the applied order (both [0] for dense, which has no fill
+      bookkeeping). *)
 end
 
 module Dense : S
@@ -78,6 +101,13 @@ type instance = {
   backend_name : string;
   dim : int;
   nnz : int;
+  ordering_name : string;
+      (** "natural" or "amd"; dense always reports "natural" *)
+  fill_natural : int;
+      (** symbolic factorisation fill of the natural order (sparse) *)
+  fill_applied : int;
+      (** symbolic factorisation fill of the applied order (sparse);
+          equals [fill_natural] when no permutation is in use *)
   slot : int -> int -> int;
   clear : unit -> unit;
   add_slot : int -> float -> unit;
@@ -87,8 +117,9 @@ type instance = {
   solve : float array -> float array;
 }
 
-val instantiate : (module S) -> int -> (int * int) array -> instance
+val instantiate : (module S) -> ordering -> int -> (int * int) array -> instance
 
-val make : backend -> int -> (int * int) array -> instance
+val make : ?ordering:ordering -> backend -> int -> (int * int) array -> instance
 (** [make backend n pattern] builds the requested backend ([Auto]
-    resolves on [n]). *)
+    resolves on [n]).  [ordering] defaults to {!default_ordering} and
+    only affects the sparse backend. *)

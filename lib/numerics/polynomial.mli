@@ -51,6 +51,14 @@ val compose : t -> t -> t
 val shift : t -> float -> t
 (** [shift p a] is [x -> p (x + a)]. *)
 
+val shift_into : t -> float -> float array -> float array -> int
+(** [shift_into p a acc scr] writes the coefficients of [shift p a]
+    into the first cells of [acc] and returns how many.  It replays
+    {!shift}'s floating-point program exactly, so the values written
+    are bitwise the coefficients {!shift} returns — the allocation-free
+    form solver inner loops use.  Both scratch arrays need length at
+    least [Array.length p]; [scr] is clobbered. *)
+
 val equal : ?tol:float -> t -> t -> bool
 (** Coefficient-wise equality with optional tolerance. *)
 
@@ -71,6 +79,21 @@ val roots_cubic : float -> float -> float -> float -> float list
 val real_roots_closed_form : t -> float list
 (** Closed-form real roots for polynomials of degree at most 3,
     Newton-polished.  Raises [Invalid_argument] on higher degrees. *)
+
+val real_roots_trimmed : t -> float list
+(** [real_roots_closed_form] for a polynomial that is already
+    normalised (no trailing zero coefficient): skips the defensive
+    re-normalise copy but runs the identical floating-point program,
+    so on trimmed input the two agree bitwise.  Hot paths that build
+    their coefficient arrays trimmed call this directly. *)
+
+val real_roots_trimmed_into : t -> float array -> int
+(** [real_roots_trimmed] without the list: writes the polished,
+    ascending roots into the first cells of [buf] (length at least 3)
+    and returns how many.  Same formulas, same ordering and
+    deduplication rules, so the values written are bitwise the
+    elements {!real_roots_trimmed} would return — this is the
+    allocation-free form solver inner loops use. *)
 
 val durand_kerner : ?tol:float -> ?max_iter:int -> t -> Complex.t array
 (** All complex roots by Durand-Kerner simultaneous iteration. *)

@@ -83,6 +83,80 @@ end
 let dim m = m.n
 let nnz m = Array.length m.cols
 
+(* ------------------------------------------------------------------ *)
+(* Fill-reducing ordering                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy minimum-degree ordering (the exact-degree special case of the
+   AMD family) on the symmetrised pattern graph, plus a symbolic fill
+   estimate for an arbitrary elimination order.  Eliminating a vertex
+   connects its remaining neighbours into a clique — exactly the fill a
+   Cholesky-like factorisation of the symmetrised pattern would create —
+   and the reported count is the sum of neighbourhood sizes at
+   elimination time, an nnz(L) proxy that tracks the factorisation's
+   work and memory.  Deterministic: degree ties break toward the lowest
+   vertex index. *)
+
+(* Symmetrised adjacency (no self loops) as per-vertex hash sets. *)
+let ordering_adjacency ~n pattern =
+  let adj = Array.init n (fun _ -> Hashtbl.create 8) in
+  Array.iter
+    (fun (i, j) ->
+      if i <> j && i >= 0 && j >= 0 && i < n && j < n then begin
+        if not (Hashtbl.mem adj.(i) j) then Hashtbl.add adj.(i) j ();
+        if not (Hashtbl.mem adj.(j) i) then Hashtbl.add adj.(j) i ()
+      end)
+    pattern;
+  adj
+
+(* Eliminate every vertex in the order chosen by [next], maintaining
+   the quotient fill graph; returns the order and the symbolic fill. *)
+let ordering_eliminate ~n ~adj ~next =
+  let eliminated = Array.make n false in
+  let perm = Array.make n 0 in
+  let fill = ref 0 in
+  for k = 0 to n - 1 do
+    let v = next eliminated k in
+    perm.(k) <- v;
+    eliminated.(v) <- true;
+    let nbrs = Hashtbl.fold (fun u () acc -> u :: acc) adj.(v) [] in
+    fill := !fill + List.length nbrs;
+    List.iter (fun u -> Hashtbl.remove adj.(u) v) nbrs;
+    let rec clique = function
+      | [] -> ()
+      | u :: rest ->
+          List.iter
+            (fun w ->
+              if not (Hashtbl.mem adj.(u) w) then begin
+                Hashtbl.add adj.(u) w ();
+                Hashtbl.add adj.(w) u ()
+              end)
+            rest;
+          clique rest
+    in
+    clique nbrs
+  done;
+  (perm, !fill)
+
+let amd_order ~n pattern =
+  let adj = ordering_adjacency ~n pattern in
+  ordering_eliminate ~n ~adj ~next:(fun eliminated _k ->
+      let best = ref (-1) and bestd = ref max_int in
+      for v = 0 to n - 1 do
+        if not eliminated.(v) then begin
+          let d = Hashtbl.length adj.(v) in
+          if d < !bestd then begin
+            bestd := d;
+            best := v
+          end
+        end
+      done;
+      !best)
+
+let natural_fill ~n pattern =
+  let adj = ordering_adjacency ~n pattern in
+  snd (ordering_eliminate ~n ~adj ~next:(fun _ k -> k))
+
 let slot m i j =
   if i < 0 || j < 0 || i >= m.n || j >= m.n then
     invalid_arg (Printf.sprintf "Sparse.slot: (%d, %d) out of range" i j);
@@ -166,7 +240,7 @@ let lu_create m =
     y = Array.make n 0.0;
   }
 
-let refactor lu m =
+let refactor ?orig_col lu m =
   let n = m.n in
   if lu.lu_n <> n then invalid_arg "Sparse.refactor: workspace dimension mismatch";
   let mp = m.row_ptr and mi = m.cols and mx = m.values in
@@ -270,8 +344,20 @@ let refactor lu m =
         end
       end
     done;
-    if !ipiv < 0 || !amax = 0.0 then
-      raise (Singular (Printf.sprintf "Sparse.refactor: zero pivot at column %d" k));
+    if !ipiv < 0 || !amax = 0.0 then begin
+      (* when the caller permuted the system, also name the original
+         (pre-permutation) unknown so diagnostics point at the real
+         circuit quantity *)
+      let msg =
+        match orig_col with
+        | Some f when f k <> k ->
+            Printf.sprintf
+              "Sparse.refactor: zero pivot at column %d (original unknown %d)"
+              k (f k)
+        | _ -> Printf.sprintf "Sparse.refactor: zero pivot at column %d" k
+      in
+      raise (Singular msg)
+    end;
     let pivval = lu.wx.(!ipiv) in
     lu.pinv.(!ipiv) <- k;
     lu.p.(k) <- !ipiv;

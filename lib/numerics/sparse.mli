@@ -79,10 +79,28 @@ type lu
 
 val lu_create : t -> lu
 
-val refactor : lu -> t -> unit
+val refactor : ?orig_col:(int -> int) -> lu -> t -> unit
 (** Factor the matrix's current values with partial pivoting,
     overwriting the workspace's previous factors.  Raises {!Singular}
-    on a structurally or numerically singular matrix. *)
+    on a structurally or numerically singular matrix.  [orig_col] maps
+    a column of this (possibly permuted) matrix back to the caller's
+    original unknown index; when provided and non-identity at the
+    failing column, the zero-pivot message also names that original
+    unknown. *)
+
+val amd_order : n:int -> (int * int) array -> int array * int
+(** Greedy minimum-degree ordering of the symmetrised pattern graph
+    (the exact-degree special case of approximate minimum degree),
+    with deterministic lowest-index tie-breaking.  Returns
+    [(perm, fill)]: [perm.(k)] is the original index eliminated at
+    position [k], and [fill] is the symbolic factorisation fill of
+    that order — the sum of neighbourhood sizes at elimination time,
+    an nnz(L) proxy. *)
+
+val natural_fill : n:int -> (int * int) array -> int
+(** Symbolic factorisation fill of the identity (natural) order on the
+    symmetrised pattern graph, comparable with the fill returned by
+    {!amd_order}. *)
 
 val lu_solve : lu -> float array -> float array
 (** Solve [A x = b] using the factors of the last {!refactor}. *)

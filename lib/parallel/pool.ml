@@ -37,12 +37,32 @@ let jobs_of_string s =
           Error
             (Printf.sprintf "invalid job count %S (expected a positive integer or \"auto\")" s))
 
+(* Oversubscription cap: more domains than cores only adds scheduling
+   noise (results are index-determined either way), so requested counts
+   above the host's recommendation are clamped — once per process on
+   stderr, every time in telemetry. *)
+let c_jobs_capped = Obs.counter "pool.jobs_capped"
+let cap_warned = Atomic.make false
+
+let cap_jobs requested =
+  let cores = Int.max 1 (Domain.recommended_domain_count ()) in
+  if requested < 1 then 1
+  else if requested <= cores then requested
+  else begin
+    Obs.incr c_jobs_capped;
+    if not (Atomic.exchange cap_warned true) then
+      Printf.eprintf
+        "warning: jobs = %d exceeds the %d core(s) available; capping at %d\n%!"
+        requested cores cores;
+    cores
+  end
+
 let default_jobs () =
   match Sys.getenv_opt "CNT_JOBS" with
   | None | Some "" -> 1
   | Some s -> (
       match jobs_of_string s with
-      | Ok spec -> resolve spec
+      | Ok spec -> cap_jobs (resolve spec)
       | Error msg -> invalid_arg ("CNT_JOBS: " ^ msg))
 
 type task = { t_idx : int; t_run : unit -> unit }

@@ -43,11 +43,20 @@ val jobs_of_string : string -> (jobs_spec, string) result
     negative and malformed values are rejected with a descriptive
     message. *)
 
+val cap_jobs : int -> int
+(** Clamp a requested job count to [1 .. recommended domain count].
+    Results never depend on the job count, so oversubscribing domains
+    only adds scheduling overhead; a capped request warns on stderr
+    (once per process) and ticks the ["pool.jobs_capped"] telemetry
+    counter every time.  Applied by {!default_jobs} and the shared
+    [--jobs] CLI flag — explicit [Pool.create ~jobs] is left uncapped
+    for callers that know better. *)
+
 val default_jobs : unit -> int
 (** The engine-wide default job count: [CNT_JOBS] when set (["auto"]
-    or a positive integer; raises [Invalid_argument] on a malformed
-    value), else 1 — so existing single-domain behaviour is the
-    default. *)
+    or a positive integer, clamped through {!cap_jobs}; raises
+    [Invalid_argument] on a malformed value), else 1 — so existing
+    single-domain behaviour is the default. *)
 
 (** {1 Pools} *)
 

@@ -15,6 +15,9 @@ type table = {
    to thread separately. *)
 type config = {
   backend : Cnt_numerics.Linear_solver.backend;
+  ordering : Cnt_numerics.Linear_solver.ordering option;
+      (* None: Linear_solver.default_ordering () *)
+  assembly : Mna.assembly option; (* None: Mna.default_assembly () *)
   jobs : int option; (* None: Cnt_par.Pool.default_jobs () *)
   gmin : float;
   tol : float;
@@ -27,6 +30,8 @@ type config = {
 let default_config =
   {
     backend = Cnt_numerics.Linear_solver.Auto;
+    ordering = None;
+    assembly = None;
     jobs = None;
     gmin = 1e-12;
     tol = 1e-9;
@@ -64,7 +69,8 @@ let op_table ?(config = default_config) circuit prints =
   let r =
     Dc.operating_point ~gmin:config.gmin ~tol:config.tol
       ~max_iter:config.max_iter ~policy:config.homotopy
-      ~backend:config.backend circuit
+      ~backend:config.backend ?ordering:config.ordering
+      ?assembly:config.assembly circuit
   in
   let prints = default_prints circuit prints in
   let columns = Array.of_list (List.map print_label prints) in
@@ -88,7 +94,8 @@ let dc_table ?(config = default_config) circuit prints ~source ~start ~stop
        from a deck it is a semantic error, not an internal one *)
     try
       Dc.sweep ~gmin:config.gmin ~tol:config.tol ~max_iter:config.max_iter
-        ~policy:config.homotopy ~backend:config.backend ?jobs:config.jobs
+        ~policy:config.homotopy ~backend:config.backend
+        ?ordering:config.ordering ?assembly:config.assembly ?jobs:config.jobs
         circuit ~source ~start ~stop ~step
     with Invalid_argument msg -> raise (Dc.Analysis_error msg)
   in
@@ -124,7 +131,8 @@ let ac_table ?(config = default_config) circuit prints ~per_decade ~fstart
   let freqs = Ac.decade_frequencies ~start:fstart ~stop:fstop ~per_decade in
   let r =
     Ac.run ~gmin:config.gmin ~tol:config.tol ~max_iter:config.max_iter
-      ~policy:config.homotopy circuit ~freqs
+      ~policy:config.homotopy ?ordering:config.ordering
+      ?assembly:config.assembly circuit ~freqs
   in
   let prints = default_prints circuit prints in
   let columns =
@@ -170,7 +178,8 @@ let tran_table ?(config = default_config) circuit prints ~tstep ~tstop =
   Obs.span "analysis.tran" @@ fun () ->
   let r =
     Transient.run ~gmin:config.gmin ~tol:config.tol ~policy:config.homotopy
-      ~backend:config.backend circuit ~tstep ~tstop
+      ~backend:config.backend ?ordering:config.ordering
+      ?assembly:config.assembly circuit ~tstep ~tstop
   in
   let prints = default_prints circuit prints in
   let columns = Array.of_list ("time" :: List.map print_label prints) in

@@ -17,6 +17,14 @@ type config = {
   backend : Cnt_numerics.Linear_solver.backend;
       (** linear solver for DC and transient ([Auto]: sparse at 25
           unknowns; AC always uses the dense complex solver) *)
+  ordering : Cnt_numerics.Linear_solver.ordering option;
+      (** sparse fill-reducing ordering ([--ordering] / [CNT_ORDERING]);
+          [None] means {!Cnt_numerics.Linear_solver.default_ordering}
+          (natural).  Dense solves ignore it. *)
+  assembly : Mna.assembly option;
+      (** CNFET stamp assembly mode ([--assembly] / [CNT_ASSEMBLY]);
+          [None] means {!Mna.default_assembly} (batched).  Waveforms are
+          byte-identical in either mode — see [docs/ASSEMBLY.md]. *)
   jobs : int option;
       (** DC-sweep fan-out domains; [None] means
           [Cnt_par.Pool.default_jobs ()] ([CNT_JOBS] or 1).  Results

@@ -34,6 +34,57 @@ let c_damped_backtracks = Obs.counter "mna.damped_backtracks"
 let h_residual = Obs.histogram "mna.newton_residual"
 let h_iters = Obs.histogram "mna.newton_iters_per_solve"
 
+(* Symbolic factorisation fill of the compiled pattern, accumulated at
+   compile time (the numerics layer has no telemetry dependency, so the
+   counters tick here from the solver instance's bookkeeping). *)
+let c_fill_natural = Obs.counter "ordering.fill_natural"
+let c_fill_applied = Obs.counter "ordering.fill_applied"
+
+(* ------------------------------------------------------------------ *)
+(* Assembly modes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* How CNFET stamps are produced each Newton iteration.
+
+   [Scalar] evaluates each device in place inside the stamping loop
+   (the historical path).  [Batched] lowers the circuit's CNFETs into a
+   structure-of-arrays table at compile time and splits every refill
+   into three passes — gather all bias points from the solution vector
+   into contiguous columns, evaluate them with the batched
+   plan-sharing kernel ({!Cnt_core.Cnt_model.eval_stencil}), scatter
+   the stamps back through the recorded slot program.  Both modes are
+   the same floating-point program device for device, so all waveforms
+   and tables are byte-identical; [Batched] exists purely to make the
+   assembly phase cheap. *)
+type assembly =
+  | Scalar
+  | Batched
+
+let assembly_name = function Scalar -> "scalar" | Batched -> "batched"
+
+let assembly_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "scalar" -> Some Scalar
+  | "batched" -> Some Batched
+  | _ -> None
+
+let default_assembly_lazy =
+  lazy
+    (match Sys.getenv_opt "CNT_ASSEMBLY" with
+    | None | Some "" -> Batched
+    | Some s -> (
+        match assembly_of_string s with
+        | Some a -> a
+        | None ->
+            Printf.eprintf
+              "warning: CNT_ASSEMBLY: unknown assembly mode %S (expected \
+               scalar | batched); using batched\n\
+               %!"
+              s;
+            Batched))
+
+let default_assembly () = Lazy.force default_assembly_lazy
+
 (* ------------------------------------------------------------------ *)
 (* Solver statistics                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -142,7 +193,32 @@ type device =
       model : Cnt_core.Cnt_model.t;
       cgs_i : int;
       cgd_i : int;
+      ti : int; (* row in the CNFET device table, netlist order *)
     }
+
+(* Structure-of-arrays lowering of the circuit's CNFETs: node indices
+   and models in parallel arrays, bias and output slots in contiguous
+   Bigarray float64 columns.  Row [ti] of every column belongs to the
+   device carrying that [ti].  The node/model columns are immutable and
+   shared between clones; the float columns are per-workspace scratch
+   overwritten every iteration. *)
+type cnfet_table = {
+  ct_n : int;
+  ct_d : int array; (* drain node index, -1 = ground *)
+  ct_g : int array;
+  ct_s : int array;
+  ct_models : Cnt_core.Cnt_model.t array;
+  ct_vgs : Cnt_core.Cnt_model.vec; (* gathered bias points *)
+  ct_vds : Cnt_core.Cnt_model.vec;
+  ct_i0 : Cnt_core.Cnt_model.vec; (* batched kernel outputs *)
+  ct_gm : Cnt_core.Cnt_model.vec;
+  ct_gds : Cnt_core.Cnt_model.vec;
+  (* per-device solver-plan workspaces; mutable scratch, never shared
+     between clones (clones may evaluate concurrently) *)
+  ct_ws : Cnt_core.Cnt_model.stencil_ws array;
+}
+
+let fvec n = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
 
 type compiled = {
   circuit : Circuit.t;
@@ -158,12 +234,16 @@ type compiled = {
   program : int array; (* backend slots in stamp emission order *)
   rhs : float array; (* refilled in place each iteration *)
   stats : stats;
+  assembly : assembly;
+  table : cnfet_table option; (* Some iff batched and the circuit has CNFETs *)
   (* kept so [clone] can allocate an identical solver workspace *)
   sym_backend : Linear_solver.backend;
+  sym_ordering : Linear_solver.ordering;
   sym_pattern : (int * int) array;
 }
 
 let size c = c.n_nodes + c.n_branches
+let assembly_mode c = c.assembly
 
 let circuit c = c.circuit
 let node_count c = c.n_nodes
@@ -247,9 +327,16 @@ let capacitors c =
    capacitors and inductors are always stamped (with zero companions at
    DC), so the symbolic pass records a slot program that the numeric
    pass replays one-for-one.  Any structural change must keep the two
-   passes emitting identical sequences. *)
-let stamp_system ~stats ~devices ~n_nodes ~add_j ~add_b ~eval_wave ~caps ~inds
-    ~gmin x =
+   passes emitting identical sequences.
+
+   [table], when provided, carries this iteration's batched CNFET
+   kernel outputs: the Dcnfet branch reads row [ti] of the output
+   columns instead of evaluating the model in place.  The bias voltages
+   are recomputed here with the same expressions the gather pass used,
+   so the [ieq] linearisation and the stamp sequence are identical to
+   the scalar mode's. *)
+let stamp_system ?table ~stats ~devices ~n_nodes ~add_j ~add_b ~eval_wave ~caps
+    ~inds ~gmin x =
   let v_of i = if i < 0 then 0.0 else x.(i) in
   let stamp_conductance a b g =
     add_j a a g;
@@ -297,14 +384,23 @@ let stamp_system ~stats ~devices ~n_nodes ~add_j ~add_b ~eval_wave ~caps ~inds
           (* SPICE convention: positive current flows p -> m through
              the source, i.e. it is extracted from p and injected at m *)
           stamp_current p m (eval_wave name wave)
-      | Dcnfet { d; g; s; model; cgs_i; cgd_i } ->
+      | Dcnfet { d; g; s; model; cgs_i; cgd_i; ti } ->
           let vgs = v_of g -. v_of s and vds = v_of d -. v_of s in
-          let i0 =
-            if Fault.fires Fault.Nan_eval then Float.nan
-            else Cnt_core.Cnt_model.ids model ~vgs ~vds
+          let i0, gm, gds =
+            match table with
+            | Some tb ->
+                ( Bigarray.Array1.unsafe_get tb.ct_i0 ti,
+                  Bigarray.Array1.unsafe_get tb.ct_gm ti,
+                  Bigarray.Array1.unsafe_get tb.ct_gds ti )
+            | None ->
+                let i0 =
+                  if Fault.fires Fault.Nan_eval then Float.nan
+                  else Cnt_core.Cnt_model.ids model ~vgs ~vds
+                in
+                let gm = Cnt_core.Cnt_model.gm model ~vgs ~vds in
+                let gds = Cnt_core.Cnt_model.gds model ~vgs ~vds in
+                (i0, gm, gds)
           in
-          let gm = Cnt_core.Cnt_model.gm model ~vgs ~vds in
-          let gds = Cnt_core.Cnt_model.gds model ~vgs ~vds in
           stats.device_evals <- stats.device_evals + 1;
           Obs.incr c_device_evals;
           (* linearised drain current i = ieq + gm*vgs + gds*vds *)
@@ -326,8 +422,16 @@ let stamp_system ~stats ~devices ~n_nodes ~add_j ~add_b ~eval_wave ~caps ~inds
 (* Compilation: symbolic pass                                          *)
 (* ------------------------------------------------------------------ *)
 
-let compile ?(backend = Linear_solver.Auto) circuit =
+let compile ?(backend = Linear_solver.Auto) ?ordering ?assembly circuit =
   Obs.span "mna.compile" @@ fun () ->
+  let ordering =
+    match ordering with
+    | Some o -> o
+    | None -> Linear_solver.default_ordering ()
+  in
+  let assembly =
+    match assembly with Some a -> a | None -> default_assembly ()
+  in
   let node_of_name = Hashtbl.create 16 in
   let names = Circuit.nodes circuit in
   List.iteri (fun i n -> Hashtbl.add node_of_name n i) names;
@@ -350,6 +454,7 @@ let compile ?(backend = Linear_solver.Auto) circuit =
   in
   (* resolve elements into the device array; allocate companion slots *)
   let n_caps = ref 0 and n_inds = ref 0 and branch = ref n_nodes in
+  let n_cnfets = ref 0 in
   let devices =
     List.filter_map
       (fun e ->
@@ -380,6 +485,8 @@ let compile ?(backend = Linear_solver.Auto) circuit =
                   n_caps := !n_caps + 2;
                   (i, i + 1)
             in
+            let ti = !n_cnfets in
+            incr n_cnfets;
             Some
               (Dcnfet
                  {
@@ -389,6 +496,7 @@ let compile ?(backend = Linear_solver.Auto) circuit =
                    model = params.Circuit.model;
                    cgs_i;
                    cgd_i;
+                   ti;
                  }))
       (Circuit.elements circuit)
     |> Array.of_list
@@ -413,9 +521,50 @@ let compile ?(backend = Linear_solver.Auto) circuit =
   List.iteri
     (fun k ij -> pattern.(!n_recorded - 1 - k) <- ij)
     !recorded;
-  let solver = Linear_solver.make backend n pattern in
+  let solver = Linear_solver.make ~ordering backend n pattern in
+  Obs.incr ~by:solver.Linear_solver.fill_natural c_fill_natural;
+  Obs.incr ~by:solver.Linear_solver.fill_applied c_fill_applied;
   let program =
     Array.map (fun (i, j) -> solver.Linear_solver.slot i j) pattern
+  in
+  (* lower the CNFETs into the structure-of-arrays table; the symbolic
+     pass above always runs with [table:None], so the recorded pattern
+     and slot program are identical in both assembly modes *)
+  let table =
+    if assembly = Scalar || !n_cnfets = 0 then None
+    else begin
+      let nt = !n_cnfets in
+      let ct_d = Array.make nt (-1)
+      and ct_g = Array.make nt (-1)
+      and ct_s = Array.make nt (-1) in
+      let slots = Array.make nt None in
+      Array.iter
+        (function
+          | Dcnfet { d; g; s; model; ti; _ } ->
+              ct_d.(ti) <- d;
+              ct_g.(ti) <- g;
+              ct_s.(ti) <- s;
+              slots.(ti) <- Some model
+          | _ -> ())
+        devices;
+      let ct_models =
+        Array.map (function Some m -> m | None -> assert false) slots
+      in
+      Some
+        {
+          ct_n = nt;
+          ct_d;
+          ct_g;
+          ct_s;
+          ct_models;
+          ct_vgs = fvec nt;
+          ct_vds = fvec nt;
+          ct_i0 = fvec nt;
+          ct_gm = fvec nt;
+          ct_gds = fvec nt;
+          ct_ws = Array.map Cnt_core.Cnt_model.stencil_ws ct_models;
+        }
+    end
   in
   {
     circuit;
@@ -433,7 +582,10 @@ let compile ?(backend = Linear_solver.Auto) circuit =
     stats =
       fresh_stats ~backend:solver.Linear_solver.backend_name ~unknowns:n
         ~nonzeros:solver.Linear_solver.nnz;
+    assembly;
+    table;
     sym_backend = backend;
+    sym_ordering = ordering;
     sym_pattern = pattern;
   }
 
@@ -445,7 +597,9 @@ let compile ?(backend = Linear_solver.Auto) circuit =
    {!add_stats} if a combined report is wanted. *)
 let clone c =
   let n = size c in
-  let solver = Linear_solver.make c.sym_backend n c.sym_pattern in
+  let solver =
+    Linear_solver.make ~ordering:c.sym_ordering c.sym_backend n c.sym_pattern
+  in
   let program =
     Array.map (fun (i, j) -> solver.Linear_solver.slot i j) c.sym_pattern
   in
@@ -457,6 +611,21 @@ let clone c =
     stats =
       fresh_stats ~backend:solver.Linear_solver.backend_name ~unknowns:n
         ~nonzeros:solver.Linear_solver.nnz;
+    (* fresh float columns: the bias/output slots are per-workspace
+       scratch; node indices and models are immutable and stay shared *)
+    table =
+      Option.map
+        (fun tb ->
+          {
+            tb with
+            ct_vgs = fvec tb.ct_n;
+            ct_vds = fvec tb.ct_n;
+            ct_i0 = fvec tb.ct_n;
+            ct_gm = fvec tb.ct_n;
+            ct_gds = fvec tb.ct_n;
+            ct_ws = Array.map Cnt_core.Cnt_model.stencil_ws tb.ct_models;
+          })
+        c.table;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -464,8 +633,47 @@ let clone c =
 (* ------------------------------------------------------------------ *)
 
 (* Overwrite matrix values and rhs in place by replaying the recorded
-   slot program.  Allocation-free apart from the two small closures. *)
+   slot program.  Allocation-free apart from the two small closures.
+
+   In batched mode the CNFET work runs first as two table passes —
+   gather every device's (vgs, vds) from the solution vector into the
+   contiguous bias columns, then evaluate all stencils through the
+   plan-sharing batched kernel — and the stamp replay (the scatter
+   pass) reads the output columns instead of calling the model.  The
+   [Fault.Nan_eval] decision is hoisted out of the device loop:
+   [Fault.fires] is a pure function of the installed spec and the
+   domain-local rung/point context, none of which change within one
+   refill, so one decision for all devices equals the scalar mode's
+   per-device decisions. *)
 let refill c ~eval_wave ~caps ~inds ~gmin x =
+  (match c.table with
+  | None -> ()
+  | Some tb ->
+      let span_g = Obs.start_span "assemble.gather" in
+      for k = 0 to tb.ct_n - 1 do
+        let d = tb.ct_d.(k) and g = tb.ct_g.(k) and s = tb.ct_s.(k) in
+        let vd = if d < 0 then 0.0 else Array.unsafe_get x d in
+        let vg = if g < 0 then 0.0 else Array.unsafe_get x g in
+        let vs = if s < 0 then 0.0 else Array.unsafe_get x s in
+        Bigarray.Array1.unsafe_set tb.ct_vgs k (vg -. vs);
+        Bigarray.Array1.unsafe_set tb.ct_vds k (vd -. vs)
+      done;
+      Obs.end_span span_g;
+      let span_e = Obs.start_span "assemble.batch_eval" in
+      let fault_i0 = Fault.fires Fault.Nan_eval in
+      for k = 0 to tb.ct_n - 1 do
+        Cnt_core.Cnt_model.eval_stencil ~ws:tb.ct_ws.(k) tb.ct_models.(k)
+          ~fault_i0
+          ~vgs:(Bigarray.Array1.unsafe_get tb.ct_vgs k)
+          ~vds:(Bigarray.Array1.unsafe_get tb.ct_vds k)
+          ~i0:tb.ct_i0 ~gm:tb.ct_gm ~gds:tb.ct_gds ~k
+      done;
+      Obs.end_span span_e);
+  let span_s =
+    match c.table with
+    | Some _ -> Some (Obs.start_span "assemble.scatter")
+    | None -> None
+  in
   c.solver.Linear_solver.clear ();
   Array.fill c.rhs 0 (Array.length c.rhs) 0.0;
   let program = c.program in
@@ -478,8 +686,9 @@ let refill c ~eval_wave ~caps ~inds ~gmin x =
     end
   in
   let add_b i v = if i >= 0 then c.rhs.(i) <- c.rhs.(i) +. v in
-  stamp_system ~stats:c.stats ~devices:c.devices ~n_nodes:c.n_nodes ~add_j
-    ~add_b ~eval_wave ~caps ~inds ~gmin x;
+  stamp_system ?table:c.table ~stats:c.stats ~devices:c.devices
+    ~n_nodes:c.n_nodes ~add_j ~add_b ~eval_wave ~caps ~inds ~gmin x;
+  Option.iter Obs.end_span span_s;
   if !cursor <> Array.length program then
     invalid_arg "Mna.refill: stamp sequence diverged from compiled program"
 

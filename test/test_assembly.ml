@@ -1,0 +1,323 @@
+(* Batched-assembly equivalence and ordering tests.
+
+   The PR-6 hard invariant: every waveform and table is byte-identical
+   between scalar and batched MNA assembly, at any job count and any
+   cache setting.  These tests compare solution vectors through
+   [Int64.bits_of_float] — no tolerances anywhere — across DC operating
+   points, DC sweeps, transients and AC runs, plus the supporting
+   bitwise pins (plan replanning, allocation-free shift) and the AMD
+   fill-reducing ordering properties. *)
+
+open Cnt_numerics
+open Cnt_spice
+
+let bits = Int64.bits_of_float
+
+let check_bits_arr name (a : float array) (b : float array) =
+  Alcotest.(check int) (name ^ ": length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if not (Int64.equal (bits x) (bits b.(i))) then
+        Alcotest.failf "%s: element %d differs bitwise: %h vs %h" name i x
+          b.(i))
+    a
+
+let check_bits_mat name (a : float array array) (b : float array array) =
+  Alcotest.(check int) (name ^ ": rows") (Array.length a) (Array.length b);
+  Array.iteri (fun i r -> check_bits_arr (Printf.sprintf "%s row %d" name i) r b.(i)) a
+
+(* One fitted model pair shared by every circuit in this file; cache
+   configuration is mutated per test and restored to disabled. *)
+let fam =
+  lazy (Stdcells.family ~length:100e-9 ())
+
+let with_cache config f =
+  let fam = Lazy.force fam in
+  Cnt_core.Cnt_model.set_cache fam.Stdcells.n_model config;
+  Cnt_core.Cnt_model.set_cache fam.Stdcells.p_model config;
+  Fun.protect
+    ~finally:(fun () ->
+      Cnt_core.Cnt_model.set_cache fam.Stdcells.n_model Cnt_core.Eval_cache.disabled;
+      Cnt_core.Cnt_model.set_cache fam.Stdcells.p_model Cnt_core.Eval_cache.disabled)
+    f
+
+let inverter_circuit ?(vin = 0.27) () =
+  let fam = Lazy.force fam in
+  Stdcells.bench fam
+    ~stimuli:[ Circuit.vdc "vin" "in" "0" vin ]
+    ~cells:(Stdcells.inverter fam ~prefix:"x" ~input:"in" ~output:"out" ~vdd_node:"vdd")
+
+let ring_circuit ~stages =
+  let fam = Lazy.force fam in
+  let cells, _ = Stdcells.ring_oscillator fam ~prefix:"r" ~stages ~vdd_node:"vdd" in
+  Stdcells.bench fam ~stimuli:[] ~cells
+
+(* ------------------------------------------------------------------ *)
+(* Scalar vs batched, bitwise                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_op_equivalence () =
+  let c = inverter_circuit () in
+  let s = Dc.operating_point ~assembly:Mna.Scalar c in
+  let b = Dc.operating_point ~assembly:Mna.Batched c in
+  check_bits_arr "op solution" s.Dc.solution b.Dc.solution
+
+let sweep_solutions (r : Dc.sweep_result) =
+  Array.map (fun (p : Dc.op_result) -> p.Dc.solution) r.Dc.points
+
+let test_dc_sweep_equivalence () =
+  let c = inverter_circuit () in
+  List.iter
+    (fun jobs ->
+      let s =
+        Dc.sweep ~assembly:Mna.Scalar ~jobs c ~source:"vin" ~start:0.0
+          ~stop:0.6 ~step:0.05
+      in
+      let b =
+        Dc.sweep ~assembly:Mna.Batched ~jobs c ~source:"vin" ~start:0.0
+          ~stop:0.6 ~step:0.05
+      in
+      check_bits_arr "sweep values" s.Dc.sweep_values b.Dc.sweep_values;
+      check_bits_mat
+        (Printf.sprintf "sweep solutions (jobs=%d)" jobs)
+        (sweep_solutions s) (sweep_solutions b))
+    [ 1; 4 ]
+
+let test_transient_equivalence () =
+  let c = ring_circuit ~stages:5 in
+  let s =
+    Transient.run ~assembly:Mna.Scalar c ~tstep:1e-12 ~tstop:2e-11
+  in
+  let b =
+    Transient.run ~assembly:Mna.Batched c ~tstep:1e-12 ~tstop:2e-11
+  in
+  check_bits_arr "times" s.Transient.times b.Transient.times;
+  check_bits_mat "transient solutions" s.Transient.solutions
+    b.Transient.solutions
+
+let test_transient_equivalence_sparse () =
+  let c = ring_circuit ~stages:5 in
+  let s =
+    Transient.run ~backend:Linear_solver.Sparse_backend ~assembly:Mna.Scalar c
+      ~tstep:1e-12 ~tstop:2e-11
+  in
+  let b =
+    Transient.run ~backend:Linear_solver.Sparse_backend ~assembly:Mna.Batched c
+      ~tstep:1e-12 ~tstop:2e-11
+  in
+  check_bits_mat "sparse transient solutions" s.Transient.solutions
+    b.Transient.solutions
+
+let complex_bits name (a : Complex.t array array) (b : Complex.t array array) =
+  Alcotest.(check int) (name ^ ": rows") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j z ->
+          let w = b.(i).(j) in
+          if
+            not
+              (Int64.equal (bits z.Complex.re) (bits w.Complex.re)
+              && Int64.equal (bits z.Complex.im) (bits w.Complex.im))
+          then Alcotest.failf "%s: (%d,%d) differs bitwise" name i j)
+        row)
+    a
+
+let test_ac_equivalence () =
+  let fam = Lazy.force fam in
+  let c =
+    Circuit.create
+      [
+        Circuit.vdc "vdd" "vdd" "0" 0.6;
+        Circuit.vsource ~ac:1.0 "vin" "g" "0" (Waveform.dc 0.45);
+        Circuit.resistor "rl" "vdd" "d" 50e3;
+        Circuit.cnfet "m1" ~drain:"d" ~gate:"g" ~source:"0" fam.Stdcells.n_model;
+      ]
+  in
+  let freqs = [| 1e3; 1e6; 1e9 |] in
+  let s = Ac.run ~assembly:Mna.Scalar c ~freqs in
+  let b = Ac.run ~assembly:Mna.Batched c ~freqs in
+  check_bits_arr "ac op" s.Ac.op.Dc.solution b.Ac.op.Dc.solution;
+  complex_bits "ac solutions" s.Ac.solutions b.Ac.solutions
+
+let test_equivalence_with_cache () =
+  (* the bias-point cache composes with batched assembly: entries are
+     shared key-for-key with the scalar path, so scalar and batched
+     stay bitwise-identical with the cache on (exact keys) as well *)
+  with_cache { Cnt_core.Eval_cache.size = 4096; quantum = 0.0 } @@ fun () ->
+  let c = inverter_circuit () in
+  let s = Dc.operating_point ~assembly:Mna.Scalar c in
+  let b = Dc.operating_point ~assembly:Mna.Batched c in
+  check_bits_arr "cached op solution" s.Dc.solution b.Dc.solution;
+  let st = Transient.run ~assembly:Mna.Scalar c ~tstep:1e-12 ~tstop:1e-11 in
+  let bt = Transient.run ~assembly:Mna.Batched c ~tstep:1e-12 ~tstop:1e-11 in
+  check_bits_mat "cached transient" st.Transient.solutions
+    bt.Transient.solutions
+
+let test_ordering_equivalence_dense_circuits () =
+  (* AMD vs natural ordering must agree on the dense backend (there is
+     nothing to permute) and batched assembly must stay bitwise under
+     either ordering of the sparse backend's rows *)
+  let c = inverter_circuit () in
+  let nat = Dc.operating_point ~ordering:Linear_solver.Natural c in
+  let amd = Dc.operating_point ~ordering:Linear_solver.Amd c in
+  ignore amd;
+  let s =
+    Dc.operating_point ~backend:Linear_solver.Sparse_backend
+      ~ordering:Linear_solver.Amd ~assembly:Mna.Scalar c
+  in
+  let b =
+    Dc.operating_point ~backend:Linear_solver.Sparse_backend
+      ~ordering:Linear_solver.Amd ~assembly:Mna.Batched c
+  in
+  check_bits_arr "amd scalar vs batched" s.Dc.solution b.Dc.solution;
+  (* sanity, not bitwise: orderings solve the same physics *)
+  Array.iteri
+    (fun i v ->
+      if Float.abs (v -. s.Dc.solution.(i)) > 1e-9 then
+        Alcotest.failf "ordering changed the solution beyond 1e-9 at %d" i)
+    nat.Dc.solution
+
+(* ------------------------------------------------------------------ *)
+(* Plan replanning and shift_into bitwise pins                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_replan_matches_plan () =
+  let m = (Lazy.force fam).Stdcells.n_model in
+  let s = Cnt_core.Cnt_model.solver m in
+  let reused = Cnt_core.Scv_solver.plan s ~vds:0.123 in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 200 do
+    let vds = Random.State.float rng 0.8 -. 0.1 in
+    let qt = -.Random.State.float rng 1e-9 in
+    Cnt_core.Scv_solver.replan reused ~vds;
+    let fresh = Cnt_core.Scv_solver.plan s ~vds in
+    let a = Cnt_core.Scv_solver.solve_plan reused ~qt in
+    let b = Cnt_core.Scv_solver.solve_plan fresh ~qt in
+    let c = Cnt_core.Scv_solver.solve s ~qt ~vds in
+    if not (Int64.equal (bits a) (bits b)) then
+      Alcotest.failf "replan vs fresh plan differ: %h vs %h" a b;
+    if not (Int64.equal (bits a) (bits c)) then
+      Alcotest.failf "plan vs scalar solve differ: %h vs %h" a c;
+    (* replanning at the current vds must be a warm no-op with the same
+       bitwise results *)
+    Cnt_core.Scv_solver.replan reused ~vds;
+    let a' = Cnt_core.Scv_solver.solve_plan reused ~qt in
+    if not (Int64.equal (bits a) (bits a')) then
+      Alcotest.failf "same-vds replan changed the solve: %h vs %h" a a'
+  done
+
+let test_shift_into_matches_shift () =
+  let rng = Random.State.make [| 7 |] in
+  let acc = Array.make 8 0.0 and scr = Array.make 8 0.0 in
+  for _ = 1 to 500 do
+    let n = 1 + Random.State.int rng 4 in
+    let p =
+      Array.init n (fun _ ->
+          match Random.State.int rng 5 with
+          | 0 -> 0.0
+          | _ -> Random.State.float rng 2.0 -. 1.0)
+    in
+    let a = Random.State.float rng 2.0 -. 1.0 in
+    let expected = Polynomial.shift p a in
+    let len = Polynomial.shift_into p a acc scr in
+    Alcotest.(check int) "coefficient count" (Array.length expected) len;
+    for i = 0 to len - 1 do
+      if not (Int64.equal (bits expected.(i)) (bits acc.(i))) then
+        Alcotest.failf "shift_into coefficient %d differs: %h vs %h" i
+          expected.(i) acc.(i)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* AMD ordering properties                                             *)
+(* ------------------------------------------------------------------ *)
+
+let random_pattern rng n =
+  (* connected-ish random sparse pattern with a full diagonal *)
+  let entries = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    Hashtbl.replace entries (i, i) ()
+  done;
+  let extra = 2 * n in
+  for _ = 1 to extra do
+    let i = Random.State.int rng n and j = Random.State.int rng n in
+    Hashtbl.replace entries (i, j) ()
+  done;
+  Array.of_seq (Hashtbl.to_seq_keys entries)
+
+let test_amd_permutation_valid () =
+  let rng = Random.State.make [| 2024 |] in
+  for _ = 1 to 50 do
+    let n = 2 + Random.State.int rng 40 in
+    let pattern = random_pattern rng n in
+    let perm, _fill = Sparse.amd_order ~n pattern in
+    Alcotest.(check int) "perm length" n (Array.length perm);
+    let seen = Array.make n false in
+    Array.iter
+      (fun p ->
+        if p < 0 || p >= n then Alcotest.failf "perm entry %d out of range" p;
+        if seen.(p) then Alcotest.failf "perm entry %d duplicated" p;
+        seen.(p) <- true)
+      perm
+  done
+
+let test_amd_fill_no_worse () =
+  let rng = Random.State.make [| 99 |] in
+  for _ = 1 to 50 do
+    let n = 2 + Random.State.int rng 40 in
+    let pattern = random_pattern rng n in
+    let _, amd_fill = Sparse.amd_order ~n pattern in
+    let nat_fill = Sparse.natural_fill ~n pattern in
+    if amd_fill > nat_fill then
+      Alcotest.failf "amd fill %d exceeds natural fill %d (n=%d)" amd_fill
+        nat_fill n
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Jobs capping                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_cap_jobs () =
+  let cores = Domain.recommended_domain_count () in
+  Alcotest.(check int) "1 stays 1" 1 (Cnt_par.Pool.cap_jobs 1);
+  Alcotest.(check int) "cores stay cores" cores (Cnt_par.Pool.cap_jobs cores);
+  Alcotest.(check int) "excess capped at cores" cores
+    (Cnt_par.Pool.cap_jobs (cores + 37));
+  Alcotest.(check int) "zero clamps to 1" 1 (Cnt_par.Pool.cap_jobs 0)
+
+let () =
+  Alcotest.run "cnt_assembly"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "op scalar=batched" `Quick test_op_equivalence;
+          Alcotest.test_case "dc sweep scalar=batched at jobs 1 and 4" `Quick
+            test_dc_sweep_equivalence;
+          Alcotest.test_case "transient scalar=batched" `Quick
+            test_transient_equivalence;
+          Alcotest.test_case "transient scalar=batched (sparse)" `Quick
+            test_transient_equivalence_sparse;
+          Alcotest.test_case "ac scalar=batched" `Quick test_ac_equivalence;
+          Alcotest.test_case "scalar=batched with cache on" `Quick
+            test_equivalence_with_cache;
+          Alcotest.test_case "amd ordering keeps scalar=batched" `Quick
+            test_ordering_equivalence_dense_circuits;
+        ] );
+      ( "plans",
+        [
+          Alcotest.test_case "replan bitwise-equals fresh plan" `Quick
+            test_replan_matches_plan;
+          Alcotest.test_case "shift_into bitwise-equals shift" `Quick
+            test_shift_into_matches_shift;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "amd perm is a permutation" `Quick
+            test_amd_permutation_valid;
+          Alcotest.test_case "amd fill <= natural fill" `Quick
+            test_amd_fill_no_worse;
+        ] );
+      ( "jobs",
+        [ Alcotest.test_case "cap_jobs clamps at host cores" `Quick test_cap_jobs ] );
+    ]
