@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test check bench obs-smoke obs-bench par-check par-bench conv-check conv-smoke conv-bench cache-check cache-smoke cache-bench asm-check asm-smoke asm-bench repro clean
+.PHONY: all build test check bench bench-diff obs-smoke obs-bench par-check par-bench conv-check conv-smoke conv-bench cache-check cache-smoke cache-bench asm-check asm-smoke asm-bench repro clean
 
 all: build
 
@@ -14,6 +14,14 @@ test:
 check:
 	dune build @all
 	dune runtest
+
+# Compare two BENCH_*.json artefacts: every timing leaf (keys ending
+# in _s) present in both is checked for relative regressions.
+#   make bench-diff OLD=results/BENCH_obs.json NEW=/tmp/BENCH_obs.json
+#   make bench-diff OLD=... NEW=... THRESHOLD=15
+THRESHOLD ?= 10
+bench-diff:
+	dune exec bench/compare.exe -- $(OLD) $(NEW) --threshold $(THRESHOLD)
 
 # Quick telemetry-overhead smoke run (2 repeats; prints JSON to stdout).
 obs-smoke:

@@ -1,0 +1,317 @@
+(* Bench-regression differ.
+
+     compare OLD.json NEW.json [--threshold 10] [--quiet]
+
+   Compares two BENCH_*.json artefacts (any of the shapes bench/main.exe
+   emits): both files are parsed with a minimal JSON reader, flattened
+   to path -> number leaves, and every timing leaf — a key ending in
+   [_s], where lower is better — present in both files is compared by
+   relative change.  A slowdown beyond the threshold is a regression
+   (exit 1); a speedup beyond it is reported as improved; everything
+   else passes.  Non-timing leaves and keys present in only one file
+   are listed as notes, never failures, so artefact-shape drift cannot
+   break CI.
+
+   Array elements flatten under their "workload" / "name" / "label"
+   field when they have one, so reordering results between runs does
+   not misalign the diff. *)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON reader                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json text =
+  let pos = ref 0 in
+  let n = String.length text in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub text !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "bad literal (wanted %s)" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = text.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+          if !pos >= n then fail "unterminated escape";
+          let e = text.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub text !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+              in
+              (* sufficient for the ASCII artefacts bench emits *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_string buf (Printf.sprintf "\\u%s" hex)
+          | _ -> fail "bad escape");
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub text start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing content";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Flattening                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Array elements key by their identifying field when present so that
+   result reordering between runs cannot misalign the diff. *)
+let element_key item i =
+  let tagged =
+    match item with
+    | Obj fields ->
+        List.find_map
+          (fun k ->
+            match List.assoc_opt k fields with
+            | Some (Str s) -> Some s
+            | _ -> None)
+          [ "workload"; "name"; "label"; "id" ]
+    | _ -> None
+  in
+  match tagged with Some s -> Printf.sprintf "[%s]" s | None -> Printf.sprintf "[%d]" i
+
+let flatten json =
+  let out = ref [] in
+  let rec go prefix = function
+    | Num v -> out := (prefix, v) :: !out
+    | Obj fields ->
+        List.iter
+          (fun (k, v) ->
+            go (if prefix = "" then k else prefix ^ "." ^ k) v)
+          fields
+    | Arr items ->
+        List.iteri (fun i item -> go (prefix ^ element_key item i) item) items
+    | Null | Bool _ | Str _ -> ()
+  in
+  go "" json;
+  List.rev !out
+
+let is_timing path =
+  (* timing leaves end in _s; wall_s, disabled_s, total_s, ... *)
+  let last_key i = match String.rindex_from_opt path i '.' with
+    | Some j -> String.sub path (j + 1) (String.length path - j - 1)
+    | None -> path
+  in
+  let key = last_key (String.length path - 1) in
+  String.length key > 2 && String.sub key (String.length key - 2) 2 = "_s"
+
+(* ------------------------------------------------------------------ *)
+(* Diff                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let threshold = ref 10.0 in
+  let quiet = ref false in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t > 0.0 -> threshold := t
+        | _ ->
+            prerr_endline "compare: --threshold needs a positive percentage";
+            exit 2);
+        parse_args rest
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse_args rest
+    | f :: rest ->
+        files := f :: !files;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match List.rev !files with
+    | [ o; n ] -> (o, n)
+    | _ ->
+        prerr_endline
+          "usage: compare OLD.json NEW.json [--threshold PCT] [--quiet]";
+        exit 2
+  in
+  let load path =
+    match parse_json (read_file path) with
+    | j -> flatten j
+    | exception Sys_error msg ->
+        prerr_endline ("compare: " ^ msg);
+        exit 2
+    | exception Parse_error msg ->
+        prerr_endline (Printf.sprintf "compare: %s: %s" path msg);
+        exit 2
+  in
+  let old_leaves = load old_path and new_leaves = load new_path in
+  let regressions = ref 0 and improved = ref 0 and passed = ref 0 in
+  let missing = ref 0 in
+  Printf.printf "bench-diff: %s -> %s (threshold %.0f%%)\n" old_path new_path
+    !threshold;
+  Printf.printf "%-60s %12s %12s %9s  %s\n" "timing" "old_s" "new_s" "change"
+    "verdict";
+  List.iter
+    (fun (path, old_v) ->
+      if is_timing path then
+        match List.assoc_opt path new_leaves with
+        | None -> incr missing
+        | Some new_v ->
+            let change =
+              if old_v > 0.0 then 100.0 *. (new_v -. old_v) /. old_v
+              else 0.0
+            in
+            let verdict =
+              if change > !threshold then begin
+                incr regressions;
+                "REGRESSED"
+              end
+              else if change < -. !threshold then begin
+                incr improved;
+                "improved"
+              end
+              else begin
+                incr passed;
+                "pass"
+              end
+            in
+            if (not !quiet) || verdict = "REGRESSED" then
+              Printf.printf "%-60s %12.6g %12.6g %+8.1f%%  %s\n" path old_v
+                new_v change verdict)
+    old_leaves;
+  let new_only =
+    List.length
+      (List.filter
+         (fun (p, _) -> is_timing p && not (List.mem_assoc p old_leaves))
+         new_leaves)
+  in
+  if !missing > 0 || new_only > 0 then
+    Printf.printf
+      "note: %d timing(s) only in %s, %d only in %s (shape drift, not failures)\n"
+      !missing old_path new_only new_path;
+  Printf.printf "bench-diff: %d passed, %d improved, %d regressed\n" !passed
+    !improved !regressions;
+  exit (if !regressions > 0 then 1 else 0)

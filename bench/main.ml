@@ -326,11 +326,21 @@ let obs_overhead_json ~repeats =
         in
         let phases = Report.phases_json () in
         Obs.disable ();
+        (* progress-stream cost in isolation: registry off, a null
+           throttled sink installed — what --progress adds to a run *)
+        let progress_s =
+          Progress.with_sink
+            (Progress.sink ~min_interval:0.1 (fun _ -> ()))
+            (fun () -> best work)
+        in
         Printf.sprintf
           "    {\"workload\": \"%s\", \"disabled_s\": %.6g, \"enabled_s\": \
-           %.6g, \"overhead_pct\": %.2f,\n     \"enabled_phases\": %s}"
+           %.6g, \"overhead_pct\": %.2f, \"progress_s\": %.6g, \
+           \"progress_overhead_pct\": %.2f,\n     \"enabled_phases\": %s}"
           name off_s on_s
           (100.0 *. ((on_s /. off_s) -. 1.0))
+          progress_s
+          (100.0 *. ((progress_s /. off_s) -. 1.0))
           phases)
       obs_workloads
   in

@@ -30,9 +30,17 @@ let eval_model which device ~optimise =
       fun ~vgs ~vds -> Table_model.ids m ~vgs ~vds
 
 let run which temp fermi diameter tox vgs_csv vds_max points format optimise
-    compare profile config =
+    compare profile obs config =
   let jobs = config.Cnt_spice.Engine.jobs in
   if profile then Cnt_obs.Obs.enable ();
+  Cnt_cli.Cli_obs.init obs;
+  let manifest =
+    Cnt_obs.Manifest.create ~tool:"cnt_char"
+      ~argv:(List.tl (Array.to_list Sys.argv))
+      ()
+  in
+  Cnt_obs.Manifest.set manifest "config"
+    (Cnt_spice.Engine.config_manifest config);
   (* models built below adopt the ambient default cache config *)
   Option.iter Cnt_core.Eval_cache.set_default config.Cnt_spice.Engine.cache;
   let device =
@@ -44,18 +52,53 @@ let run which temp fermi diameter tox vgs_csv vds_max points format optimise
     |> List.filter (fun s -> String.trim s <> "")
     |> List.map (fun s -> float_of_string (String.trim s))
   in
+  Cnt_obs.Manifest.set manifest "device"
+    (Cnt_obs.Manifest.Obj
+       [
+         ("temp_k", Cnt_obs.Manifest.Float temp);
+         ("fermi_ev", Cnt_obs.Manifest.Float fermi);
+         ("diameter_nm", Cnt_obs.Manifest.Float diameter);
+         ("tox_nm", Cnt_obs.Manifest.Float tox);
+         ("vds_max", Cnt_obs.Manifest.Float vds_max);
+         ("points", Cnt_obs.Manifest.Int points);
+         ("curves", Cnt_obs.Manifest.Int (List.length vgs_list));
+       ]);
   let vds_points = Grid.linspace 0.0 vds_max points in
   let ids = eval_model which device ~optimise in
+  let n_curves = List.length vgs_list in
+  let label = Printf.sprintf "char %d curves x %d points" n_curves points in
+  if Cnt_obs.Progress.on () then
+    Cnt_obs.Progress.emit
+      (Cnt_obs.Progress.Analysis_start { analysis = "char"; label });
+  let progress_done = Atomic.make 0 in
   (* model evaluation is pure, so gate-voltage curves fan out across
      the pool; results land in vgs order at any job count *)
   let curves =
     let module Pool = Cnt_par.Pool in
     Pool.with_pool ?jobs (fun pool ->
         Pool.parallel_map pool ~chunk:1
-          (fun vgs -> (vgs, Array.map (fun vds -> ids ~vgs ~vds) vds_points))
+          (fun vgs ->
+            let curve = Array.map (fun vds -> ids ~vgs ~vds) vds_points in
+            if Cnt_obs.Progress.on () then
+              Cnt_obs.Progress.emit
+                (Cnt_obs.Progress.Sample
+                   {
+                     label = "char";
+                     i = 1 + Atomic.fetch_and_add progress_done 1;
+                     n = n_curves;
+                   });
+            (vgs, curve))
           (Array.of_list vgs_list))
     |> Array.to_list
   in
+  if Cnt_obs.Progress.on () then
+    Cnt_obs.Progress.emit
+      (Cnt_obs.Progress.Analysis_finish
+         { analysis = "char"; label; points = n_curves });
+  Cnt_obs.Manifest.set manifest "digest_md5"
+    (Cnt_obs.Manifest.String
+       (Cnt_obs.Manifest.digest_rows
+          (Array.of_list (List.map snd curves))));
   if compare then begin
     (* per-gate-voltage relative RMS against the full reference *)
     let reference = Fettoy.create device in
@@ -95,7 +138,14 @@ let run which temp fermi diameter tox vgs_csv vds_max points format optimise
     print_newline ();
     print_string (Cnt_obs.Report.render_profile ())
   end;
-  0
+  Cnt_obs.Manifest.set manifest "obs" (Cnt_obs.Manifest.obs_snapshot ());
+  Cnt_obs.Manifest.set manifest "outcome"
+    (Cnt_obs.Manifest.Obj
+       [
+         ("status", Cnt_obs.Manifest.String "ok");
+         ("exit_code", Cnt_obs.Manifest.Int 0);
+       ]);
+  Cnt_cli.Cli_obs.finish obs manifest 0
 
 let which_arg =
   let alts =
@@ -151,6 +201,7 @@ let cmd =
     Term.(
       const run $ which_arg $ temp_arg $ fermi_arg $ diameter_arg $ tox_arg
       $ vgs_arg $ vds_max_arg $ points_arg $ format_arg $ optimise_arg
-      $ compare_arg $ profile_arg $ Cnt_cli.Cli_config.term)
+      $ compare_arg $ profile_arg $ Cnt_cli.Cli_obs.term
+      $ Cnt_cli.Cli_config.term)
 
 let () = exit (Cmd.eval' cmd)

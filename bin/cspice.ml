@@ -42,16 +42,54 @@ let exit_ok = 0
 let exit_usage = 2
 let exit_internal = 4
 
+(* Print the profile and write the Chrome trace; an unwritable trace
+   path is a structured output error, not an uncaught Sys_error. *)
 let finish_telemetry ~profile ~trace =
   if profile then print_profile ();
   match trace with
-  | None -> ()
-  | Some out ->
-      Cnt_obs.Trace.write out;
-      Printf.printf "wrote Chrome trace %s (load in chrome://tracing)\n" out
+  | None -> None
+  | Some out -> (
+      try
+        Cnt_obs.Trace.write out;
+        Printf.printf "wrote Chrome trace %s (load in chrome://tracing)\n" out;
+        None
+      with Sys_error msg -> Some (Cnt_spice.Diag.Output_write msg))
 
-let run csv_dir max_rows stats profile trace config path =
+let ok_outcome =
+  Cnt_obs.Manifest.Obj
+    [ ("status", Cnt_obs.Manifest.String "ok"); ("exit_code", Cnt_obs.Manifest.Int 0) ]
+
+let error_outcome err = Cnt_obs.Manifest.Raw (Cnt_spice.Diag.error_json err)
+
+(* Every exit path funnels through here: snapshot the registry into the
+   manifest, flush profile/trace, then write --report/--metrics.
+   Artefact-write failures print to stderr and only take over the exit
+   code of an otherwise successful run. *)
+let epilogue ~profile ~trace ~obs ~manifest ~outcome code =
+  Cnt_obs.Manifest.set manifest "obs" (Cnt_obs.Manifest.obs_snapshot ());
+  Cnt_obs.Manifest.set manifest "outcome" outcome;
+  let code =
+    match finish_telemetry ~profile ~trace with
+    | None -> code
+    | Some e ->
+        prerr_endline (Cnt_spice.Diag.error_message e);
+        if code = exit_ok then Cnt_spice.Diag.exit_code e else code
+  in
+  Cnt_cli.Cli_obs.finish obs manifest code
+
+let run csv_dir max_rows stats profile trace obs config path =
   if profile || trace <> None then Cnt_obs.Obs.enable ();
+  Cnt_cli.Cli_obs.init obs;
+  let manifest =
+    Cnt_obs.Manifest.create ~tool:"cspice"
+      ~argv:(List.tl (Array.to_list Sys.argv))
+      ()
+  in
+  Cnt_obs.Manifest.set manifest "netlist"
+    (Cnt_obs.Manifest.Obj [ ("path", Cnt_obs.Manifest.String path) ]);
+  Cnt_obs.Manifest.set manifest "config"
+    (Cnt_spice.Engine.config_manifest config);
+  let epilogue = epilogue ~profile ~trace ~obs ~manifest in
   match
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -61,24 +99,34 @@ let run csv_dir max_rows stats profile trace config path =
   with
   | exception Sys_error msg ->
       prerr_endline msg;
-      exit_usage
+      epilogue ~outcome:(error_outcome (Cnt_spice.Diag.Bad_deck msg)) exit_usage
   | text -> (
       match Cnt_spice.Parser.parse text with
       | exception Cnt_spice.Parser.Parse_error msg ->
           prerr_endline ("parse error: " ^ msg);
-          exit_usage
+          epilogue ~outcome:(error_outcome (Cnt_spice.Diag.Parse msg)) exit_usage
       | deck -> (
           Printf.printf "* title: %s\n" deck.Cnt_spice.Parser.title;
+          Cnt_obs.Manifest.set manifest "netlist"
+            (Cnt_obs.Manifest.Obj
+               [
+                 ("path", Cnt_obs.Manifest.String path);
+                 ("title", Cnt_obs.Manifest.String deck.Cnt_spice.Parser.title);
+               ]);
           match Cnt_spice.Engine.run_deck_result ~config deck with
           | Error err ->
               prerr_endline (Cnt_spice.Diag.error_message err);
-              finish_telemetry ~profile ~trace;
-              Cnt_spice.Diag.exit_code err
+              epilogue ~outcome:(error_outcome err)
+                (Cnt_spice.Diag.exit_code err)
           | Ok tables ->
               if tables = [] then
                 prerr_endline
                   "warning: netlist contains no analysis directive \
                    (.op/.dc/.tran)";
+              Cnt_obs.Manifest.set manifest "analyses"
+                (Cnt_obs.Manifest.List
+                   (List.map Cnt_spice.Engine.table_manifest tables));
+              let csv_err = ref None in
               List.iteri
                 (fun i t ->
                   Format.printf "%a@."
@@ -86,21 +134,29 @@ let run csv_dir max_rows stats profile trace config path =
                     t;
                   match csv_dir with
                   | None -> ()
-                  | Some dir ->
-                      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-                      let base =
-                        Filename.remove_extension (Filename.basename path)
-                      in
-                      let out =
-                        Filename.concat dir (Printf.sprintf "%s_%d.csv" base i)
-                      in
-                      let oc = open_out out in
-                      output_string oc (Cnt_spice.Engine.table_to_csv t);
-                      close_out oc;
-                      Printf.printf "saved %s\n" out)
+                  | Some dir -> (
+                      try
+                        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                        let base =
+                          Filename.remove_extension (Filename.basename path)
+                        in
+                        let out =
+                          Filename.concat dir (Printf.sprintf "%s_%d.csv" base i)
+                        in
+                        let oc = open_out out in
+                        output_string oc (Cnt_spice.Engine.table_to_csv t);
+                        close_out oc;
+                        Printf.printf "saved %s\n" out
+                      with Sys_error msg ->
+                        if !csv_err = None then
+                          csv_err := Some (Cnt_spice.Diag.Output_write msg)))
                 tables;
-              finish_telemetry ~profile ~trace;
-              exit_ok))
+              (match !csv_err with
+              | None -> epilogue ~outcome:ok_outcome exit_ok
+              | Some e ->
+                  prerr_endline (Cnt_spice.Diag.error_message e);
+                  epilogue ~outcome:(error_outcome e)
+                    (Cnt_spice.Diag.exit_code e))))
 
 let csv_arg =
   let doc = "Also write each analysis result as CSV under $(docv)." in
@@ -136,7 +192,10 @@ let cmd =
   let exits =
     [
       Cmd.Exit.info 0 ~doc:"on success.";
-      Cmd.Exit.info 2 ~doc:"on a netlist parse error, bad deck or usage error.";
+      Cmd.Exit.info 2
+        ~doc:
+          "on a netlist parse error, bad deck, usage error, or an unwritable \
+           $(b,--report)/$(b,--metrics)/$(b,--trace)/$(b,--csv) path.";
       Cmd.Exit.info 3
         ~doc:
           "on a convergence failure (the strategy trail of the homotopy \
@@ -147,7 +206,7 @@ let cmd =
   Cmd.v (Cmd.info "cspice" ~doc ~exits)
     Term.(
       const run $ csv_arg $ rows_arg $ stats_arg $ profile_arg $ trace_arg
-      $ Cnt_cli.Cli_config.term $ path_arg)
+      $ Cnt_cli.Cli_obs.term $ Cnt_cli.Cli_config.term $ path_arg)
 
 (* cmdliner reports its own CLI / internal failures as 124 / 125; fold
    them into the documented 2 / 4 contract. *)

@@ -6,14 +6,39 @@
 
 open Cmdliner
 
-let run_repro list_only quiet profile dir config ids =
+let run_repro list_only quiet profile dir obs config ids =
   let jobs = config.Cnt_spice.Engine.jobs in
+  if profile then Cnt_obs.Obs.enable ();
+  Cnt_cli.Cli_obs.init obs;
+  let manifest =
+    Cnt_obs.Manifest.create ~tool:"repro"
+      ~argv:(List.tl (Array.to_list Sys.argv))
+      ()
+  in
+  Cnt_obs.Manifest.set manifest "config"
+    (Cnt_spice.Engine.config_manifest config);
+  let finish outcome code =
+    Cnt_obs.Manifest.set manifest "obs" (Cnt_obs.Manifest.obs_snapshot ());
+    Cnt_obs.Manifest.set manifest "outcome" outcome;
+    Cnt_cli.Cli_obs.finish obs manifest code
+  in
+  let ok_outcome =
+    Cnt_obs.Manifest.Obj
+      [
+        ("status", Cnt_obs.Manifest.String "ok");
+        ("exit_code", Cnt_obs.Manifest.Int 0);
+      ]
+  in
   if list_only then begin
     List.iter print_endline Cnt_experiments.Repro.experiment_ids;
-    0
+    Cnt_obs.Manifest.set manifest "experiments"
+      (Cnt_obs.Manifest.List
+         (List.map
+            (fun id -> Cnt_obs.Manifest.String id)
+            Cnt_experiments.Repro.experiment_ids));
+    finish ok_outcome 0
   end
   else begin
-    if profile then Cnt_obs.Obs.enable ();
     (* models built inside the experiments adopt the ambient default *)
     Option.iter Cnt_core.Eval_cache.set_default config.Cnt_spice.Engine.cache;
     let ids =
@@ -21,6 +46,9 @@ let run_repro list_only quiet profile dir config ids =
       | [] | [ "all" ] -> Cnt_experiments.Repro.experiment_ids
       | ids -> ids
     in
+    Cnt_obs.Manifest.set manifest "experiments"
+      (Cnt_obs.Manifest.List
+         (List.map (fun id -> Cnt_obs.Manifest.String id) ids));
     match
       Cnt_experiments.Repro.run_all ~dir ~ids ?jobs ~print:(not quiet) ()
     with
@@ -29,14 +57,28 @@ let run_repro list_only quiet profile dir config ids =
           (fun (artefact, path) ->
             Printf.printf "saved %s -> %s\n" artefact.Cnt_experiments.Repro.name path)
           results;
+        Cnt_obs.Manifest.set manifest "artefacts"
+          (Cnt_obs.Manifest.List
+             (List.map
+                (fun (a, path) ->
+                  Cnt_obs.Manifest.Obj
+                    [
+                      ( "name",
+                        Cnt_obs.Manifest.String a.Cnt_experiments.Repro.name );
+                      ("path", Cnt_obs.Manifest.String path);
+                    ])
+                results));
         if profile then begin
           print_newline ();
           print_string (Cnt_obs.Report.render_profile ())
         end;
-        0
+        finish ok_outcome 0
     | exception Invalid_argument msg ->
         prerr_endline ("error: " ^ msg);
-        1
+        finish
+          (Cnt_obs.Manifest.Raw
+             (Cnt_spice.Diag.error_json (Cnt_spice.Diag.Bad_deck msg)))
+          1
   end
 
 let ids_arg =
@@ -65,6 +107,6 @@ let cmd =
     (Cmd.info "repro" ~doc)
     Term.(
       const run_repro $ list_arg $ quiet_arg $ profile_arg $ dir_arg
-      $ Cnt_cli.Cli_config.term $ ids_arg)
+      $ Cnt_cli.Cli_obs.term $ Cnt_cli.Cli_config.term $ ids_arg)
 
 let () = exit (Cmd.eval' cmd)

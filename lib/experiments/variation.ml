@@ -68,7 +68,13 @@ let sample_device rng config nominal =
 
 let run ?(config = default_config) ?(nominal = Device.default) ?jobs () =
   let module Pool = Cnt_par.Pool in
+  let module Progress = Cnt_obs.Progress in
   if config.count < 2 then invalid_arg "Variation.run: need at least 2 samples";
+  if Progress.on () then
+    Progress.emit
+      (Progress.Analysis_start
+         { analysis = "mc"; label = Printf.sprintf "variation %d" config.count });
+  let progress_done = Atomic.make 0 in
   let base = Prng.create ~seed:config.seed () in
   let on_current device =
     let model = Cnt_model.make ~spec:Charge_fit.model2_spec device in
@@ -87,9 +93,26 @@ let run ?(config = default_config) ?(nominal = Device.default) ?jobs () =
             (* stream i depends only on (seed, i): any schedule, any
                job count, same draws *)
             let rng = Prng.stream base i in
-            on_current (sample_device rng config nominal))
+            let ids = on_current (sample_device rng config nominal) in
+            if Progress.on () then
+              Progress.emit
+                (Progress.Sample
+                   {
+                     label = "variation";
+                     i = 1 + Atomic.fetch_and_add progress_done 1;
+                     n = config.count;
+                   });
+            ids)
           indices)
   in
+  if Progress.on () then
+    Progress.emit
+      (Progress.Analysis_finish
+         {
+           analysis = "mc";
+           label = Printf.sprintf "variation %d" config.count;
+           points = config.count;
+         });
   {
     nominal = nominal_current;
     mean = Stats.mean samples;

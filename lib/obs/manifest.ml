@@ -1,0 +1,185 @@
+(* Per-run JSON manifests.
+
+   Deliberately dependency-free: a tiny JSON tree with deterministic
+   field order, a builder that stamps the run header (schema, tool,
+   argv, host), and an [obs_snapshot] that freezes the telemetry
+   registry — counters, histogram quantiles and the aggregated span
+   tree — into plain data.  Engine-specific sections (resolved config,
+   per-analysis stats, waveform digests, the Diag outcome) are
+   assembled by the layers that own those types and passed in as
+   [json] values; [Raw] lets them embed JSON they already know how to
+   render (e.g. [Diag.to_json]). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+  | Raw of string
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON has no NaN/Infinity literals. *)
+let number v =
+  if Float.is_nan v then "null"
+  else if v = Float.infinity then "1e308"
+  else if v = Float.neg_infinity then "-1e308"
+  else Printf.sprintf "%.17g" v
+
+let rec add_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float v -> Buffer.add_string buf (number v)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_json buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (name, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape name);
+          Buffer.add_string buf "\":";
+          add_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+  | Raw s -> Buffer.add_string buf s
+
+let json_to_string j =
+  let buf = Buffer.create 256 in
+  add_json buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type t = { mutable sections : (string * json) list (* reversed *) }
+
+let schema = "cnt-run-manifest/1"
+
+let create ~tool ?(argv = []) () =
+  let host =
+    Obj
+      [
+        ("cores", Int (Domain.recommended_domain_count ()));
+        ("os_type", String Sys.os_type);
+        ("ocaml_version", String Sys.ocaml_version);
+        ("word_size", Int Sys.word_size);
+      ]
+  in
+  {
+    sections =
+      List.rev
+        [
+          ("schema", String schema);
+          ("tool", String tool);
+          ("argv", List (List.map (fun a -> String a) argv));
+          ("created_unix_s", Float (Unix.gettimeofday ()));
+          ("host", host);
+        ];
+  }
+
+let set t name v =
+  if List.mem_assoc name t.sections then
+    t.sections <-
+      List.map (fun (n, old) -> if n = name then (n, v) else (n, old)) t.sections
+  else t.sections <- (name, v) :: t.sections
+
+let to_string t =
+  json_to_string (Obj (List.rev t.sections)) ^ "\n"
+
+let write t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Registry snapshot                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let obs_snapshot () =
+  let counters =
+    Obj (List.map (fun (name, v) -> (name, Int v)) (Obs.counters ()))
+  in
+  let histograms =
+    Obj
+      (List.map
+         (fun (name, (s : Obs.hist_summary)) ->
+           ( name,
+             Obj
+               [
+                 ("count", Int s.count);
+                 ("min", Float s.minimum);
+                 ("mean", Float s.mean);
+                 ("p50", Float s.p50);
+                 ("p90", Float s.p90);
+                 ("p99", Float s.p99);
+                 ("max", Float s.maximum);
+               ] ))
+         (Obs.histograms ()))
+  in
+  let rec flat acc (n : Report.node) = List.fold_left flat (n :: acc) n.children in
+  let spans =
+    List.fold_left flat [] (Report.profile_tree ())
+    |> List.rev
+    |> List.map (fun (n : Report.node) ->
+           Obj
+             [
+               ("path", String n.path);
+               ("total_s", Float n.total_s);
+               ("self_s", Float n.self_s);
+               ("calls", Int n.count);
+             ])
+  in
+  Obj
+    [
+      ("enabled", Bool (Obs.enabled ()));
+      ("counters", counters);
+      ("histograms", histograms);
+      ("spans", List spans);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Waveform digests                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* MD5 over the exact bit patterns (row lengths included, so a reshape
+   cannot collide with a value change). *)
+let digest_rows rows =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun row ->
+      Buffer.add_int32_le buf (Int32.of_int (Array.length row));
+      Array.iter (fun v -> Buffer.add_int64_le buf (Int64.bits_of_float v)) row)
+    rows;
+  Digest.to_hex (Digest.bytes (Buffer.to_bytes buf))

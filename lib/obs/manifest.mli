@@ -1,0 +1,52 @@
+(** Per-run JSON manifests: the provenance record tying a result to
+    the configuration, host and telemetry that produced it.
+
+    A manifest is an ordered set of named top-level sections over a
+    small JSON tree type.  The CLIs build one per run ([--report FILE])
+    with the resolved engine configuration, per-analysis solver stats,
+    waveform digests, a full counters/histogram snapshot of the {!Obs}
+    registry, and the structured outcome — the record every committed
+    [results/] artefact and the future [cntd] response will carry. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+  | Raw of string  (** pre-rendered JSON embedded verbatim *)
+
+val json_to_string : json -> string
+(** Compact rendering; object fields keep their given order.  NaN
+    renders as [null], infinities clamp to [±1e308]. *)
+
+type t
+
+val create : tool:string -> ?argv:string list -> unit -> t
+(** A manifest stamped with the schema version, tool name, argv, the
+    creation time and a host section (cores, OS type, OCaml
+    version). *)
+
+val set : t -> string -> json -> unit
+(** Add a top-level section, or replace one of the same name; sections
+    render in first-[set] order after the stamped header. *)
+
+val obs_snapshot : unit -> json
+(** The registry right now: every counter, every non-empty histogram
+    with count/min/mean/p50/p90/p99/max, and the aggregated span tree
+    (path, total, self, calls) — the phase wall times of the run.
+    Meaningful only while {!Obs.enabled}. *)
+
+val digest_rows : float array array -> string
+(** Hex MD5 over the rows' exact IEEE-754 bit patterns: two result
+    tables digest equal iff they are bitwise-identical, which is how a
+    manifest pins a waveform without embedding it. *)
+
+val to_string : t -> string
+(** The manifest as one JSON object (trailing newline included). *)
+
+val write : t -> string -> unit
+(** Write {!to_string} to a file.  Raises [Sys_error] on an unwritable
+    path — the CLIs map this to a structured [Diag] error. *)

@@ -185,3 +185,76 @@ let phases_json () =
           (Obs.counters ())));
   Buffer.add_string buf "}}";
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; instrument names
+   use dots, so map anything else to '_'. *)
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+(* Label values are double-quoted with backslash, quote and newline
+   escaped. *)
+let prom_label_value s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_number v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.9g" v
+
+let prometheus () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let metric = "cnt_" ^ prom_name name ^ "_total" in
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s Engine counter %s.\n# TYPE %s counter\n%s %d\n"
+           metric name metric metric v))
+    (Obs.counters ());
+  List.iter
+    (fun (name, (s : Obs.hist_summary)) ->
+      let metric = "cnt_" ^ prom_name name in
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s Engine histogram %s.\n# TYPE %s summary\n"
+           metric name metric);
+      List.iter
+        (fun (q, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{quantile=\"%s\"} %s\n" metric q (prom_number v)))
+        [ ("0.5", s.Obs.p50); ("0.9", s.Obs.p90); ("0.99", s.Obs.p99) ];
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %s\n%s_count %d\n" metric
+           (prom_number (s.Obs.mean *. float_of_int s.Obs.count))
+           metric s.Obs.count))
+    (Obs.histograms ());
+  let rec flat acc n = List.fold_left flat (n :: acc) n.children in
+  let nodes = List.rev (List.fold_left flat [] (profile_tree ())) in
+  if nodes <> [] then
+    Buffer.add_string buf
+      "# HELP cnt_obs_span_seconds Total wall time per span position.\n\
+       # TYPE cnt_obs_span_seconds gauge\n";
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "cnt_obs_span_seconds{path=\"%s\"} %s\n"
+           (prom_label_value n.path) (prom_number n.total_s)))
+    nodes;
+  Buffer.contents buf

@@ -35,3 +35,12 @@ val events_jsonl : unit -> string
 val phases_json : unit -> string
 (** Span totals and counters as a single JSON object, for benchmark
     artefacts. *)
+
+val prometheus : unit -> string
+(** Prometheus text exposition (version 0.0.4) of the registry — the
+    scrape format the [cntd] service will serve.  Counters export as
+    [cnt_<name>_total] counter metrics, histograms as summaries with
+    [quantile] labels (p50/p90/p99) plus [_sum]/[_count], and span
+    totals as a [cnt_obs_span_seconds] gauge labelled by nesting path.
+    Dots and other non-metric characters in instrument names map to
+    underscores. *)

@@ -1,6 +1,7 @@
 (* DC analyses: operating point and swept operating points. *)
 
 module Obs = Cnt_obs.Obs
+module Progress = Cnt_obs.Progress
 module Pool = Cnt_par.Pool
 
 exception Analysis_error of string
@@ -144,6 +145,9 @@ let sweep ?(gmin = 1e-12) ?tol ?max_iter ?policy ?backend ?ordering ?assembly
     else match jobs with Some j -> j | None -> Pool.default_jobs ()
   in
   let solutions = Array.make n [||] in
+  (* Completed-point count for progress ticks: an atomic because worker
+     domains finish points in schedule order, not index order. *)
+  let progress_done = Atomic.make 0 in
   Pool.with_pool ~jobs (fun pool ->
       let workspaces = Array.make (Pool.jobs pool) None in
       workspaces.(0) <- Some compiled;
@@ -183,6 +187,14 @@ let sweep ?(gmin = 1e-12) ?tol ?max_iter ?policy ?backend ?ordering ?assembly
               | None -> ladder ()
             in
             solutions.(i) <- solution;
+            if Progress.on () then
+              Progress.emit
+                (Progress.Sweep_point
+                   {
+                     k = 1 + Atomic.fetch_and_add progress_done 1;
+                     n;
+                     value = values.(i);
+                   });
             prev := Some solution
           done;
           Fault.set_point None);

@@ -129,12 +129,16 @@ type error =
   | Parse of string  (* the netlist text could not be parsed *)
   | Bad_deck of string  (* deck semantics: unknown source, bad ranges *)
   | Convergence of t
+  | Output_write of string  (* a requested artefact path was unwritable *)
   | Internal of string  (* unexpected failure; a bug until shown otherwise *)
 
 (* The cspice exit-code contract (docs/CONVERGENCE.md): 0 ok, 2
-   parse/usage, 3 convergence failure, 4 internal error. *)
+   parse/usage/output, 3 convergence failure, 4 internal error.
+   An unwritable --report/--metrics/--trace path is a usage-class
+   problem — the caller named a destination that cannot exist — so it
+   shares exit 2 rather than masquerading as an engine failure. *)
 let exit_code = function
-  | Parse _ | Bad_deck _ -> 2
+  | Parse _ | Bad_deck _ | Output_write _ -> 2
   | Convergence _ -> 3
   | Internal _ -> 4
 
@@ -221,4 +225,27 @@ let error_message = function
   | Parse msg -> "parse error: " ^ msg
   | Bad_deck msg -> "deck error: " ^ msg
   | Convergence d -> to_string d
+  | Output_write msg -> "output error: " ^ msg
   | Internal msg -> "internal error: " ^ msg
+
+let error_kind = function
+  | Parse _ -> "parse"
+  | Bad_deck _ -> "bad_deck"
+  | Convergence _ -> "convergence"
+  | Output_write _ -> "output_write"
+  | Internal _ -> "internal"
+
+(* The manifest/outcome rendering of an error: kind, exit code, the
+   human message, and — for convergence — the full structured
+   diagnostic. *)
+let error_json e =
+  let diag =
+    match e with
+    | Convergence d -> Printf.sprintf ",\"diag\":%s" (to_json d)
+    | _ -> ""
+  in
+  Printf.sprintf
+    "{\"status\":\"error\",\"kind\":\"%s\",\"exit_code\":%d,\"message\":\"%s\"%s}"
+    (error_kind e) (exit_code e)
+    (json_escape (error_message e))
+    diag

@@ -85,13 +85,25 @@ type error =
   | Parse of string
   | Bad_deck of string
   | Convergence of t
+  | Output_write of string
+      (** a requested artefact path ([--report], [--metrics],
+          [--trace], [--csv-dir]) could not be written *)
   | Internal of string
 
 val exit_code : error -> int
-(** The cspice exit-code contract: [Parse]/[Bad_deck] → 2,
-    [Convergence] → 3, [Internal] → 4 (success is 0). *)
+(** The cspice exit-code contract: [Parse]/[Bad_deck]/[Output_write]
+    → 2, [Convergence] → 3, [Internal] → 4 (success is 0). *)
 
 val error_message : error -> string
+
+val error_kind : error -> string
+(** Stable machine-readable tag: ["parse"], ["bad_deck"],
+    ["convergence"], ["output_write"], ["internal"]. *)
+
+val error_json : error -> string
+(** One-line JSON outcome record: status, kind, exit code, message,
+    and for [Convergence] the full {!to_json} diagnostic under
+    ["diag"]. *)
 
 (** {1 Rendering} *)
 

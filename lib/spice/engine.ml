@@ -2,6 +2,8 @@
    outputs. *)
 
 module Obs = Cnt_obs.Obs
+module Progress = Cnt_obs.Progress
+module Manifest = Cnt_obs.Manifest
 
 type table = {
   analysis_label : string;
@@ -52,6 +54,17 @@ let print_label = function
   | Parser.Print_i s -> Printf.sprintf "i(%s)" s
   | Parser.Print_id d -> Printf.sprintf "id(%s)" d
 
+(* Analysis start/finish milestones around a table build.  Both emit
+   from the calling (main) domain with the label fixed up front, so the
+   milestone stream is identical at any --jobs. *)
+let with_progress ~analysis ~label build =
+  if Progress.on () then Progress.emit (Progress.Analysis_start { analysis; label });
+  let t = build () in
+  if Progress.on () then
+    Progress.emit
+      (Progress.Analysis_finish { analysis; label; points = Array.length t.rows });
+  t
+
 (* Drain current of a named CNFET at a solved bias point. *)
 let device_current circuit compiled solution name =
   match Circuit.find circuit name with
@@ -66,6 +79,7 @@ let device_current circuit compiled solution name =
 
 let op_table ?(config = default_config) circuit prints =
   Obs.span "analysis.op" @@ fun () ->
+  with_progress ~analysis:"op" ~label:"op" @@ fun () ->
   let r =
     Dc.operating_point ~gmin:config.gmin ~tol:config.tol
       ~max_iter:config.max_iter ~policy:config.homotopy
@@ -89,6 +103,8 @@ let op_table ?(config = default_config) circuit prints =
 let dc_table ?(config = default_config) circuit prints ~source ~start ~stop
     ~step =
   Obs.span "analysis.dc" @@ fun () ->
+  let label = Printf.sprintf "dc %s %g %g %g" source start stop step in
+  with_progress ~analysis:"dc" ~label @@ fun () ->
   let r =
     (* range validation raises Invalid_argument at the library level;
        from a deck it is a semantic error, not an internal one *)
@@ -118,16 +134,13 @@ let dc_table ?(config = default_config) circuit prints ~source ~start ~stop
                prints))
       r.Dc.sweep_values
   in
-  {
-    analysis_label = Printf.sprintf "dc %s %g %g %g" source start stop step;
-    columns;
-    rows;
-    stats = Dc.sweep_stats r;
-  }
+  { analysis_label = label; columns; rows; stats = Dc.sweep_stats r }
 
 let ac_table ?(config = default_config) circuit prints ~per_decade ~fstart
     ~fstop =
   Obs.span "analysis.ac" @@ fun () ->
+  let label = Printf.sprintf "ac dec %d %g %g" per_decade fstart fstop in
+  with_progress ~analysis:"ac" ~label @@ fun () ->
   let freqs = Ac.decade_frequencies ~start:fstart ~stop:fstop ~per_decade in
   let r =
     Ac.run ~gmin:config.gmin ~tol:config.tol ~max_iter:config.max_iter
@@ -167,15 +180,12 @@ let ac_table ?(config = default_config) circuit prints ~per_decade ~fstart
                phasors))
       freqs
   in
-  {
-    analysis_label = Printf.sprintf "ac dec %d %g %g" per_decade fstart fstop;
-    columns;
-    rows;
-    stats = r.Ac.stats;
-  }
+  { analysis_label = label; columns; rows; stats = r.Ac.stats }
 
 let tran_table ?(config = default_config) circuit prints ~tstep ~tstop =
   Obs.span "analysis.tran" @@ fun () ->
+  let label = Printf.sprintf "tran %g %g" tstep tstop in
+  with_progress ~analysis:"tran" ~label @@ fun () ->
   let r =
     Transient.run ~gmin:config.gmin ~tol:config.tol ~policy:config.homotopy
       ~backend:config.backend ?ordering:config.ordering
@@ -199,12 +209,7 @@ let tran_table ?(config = default_config) circuit prints ~tstep ~tstop =
       (fun i t -> Array.of_list (t :: List.map (fun w -> w.(i)) waves))
       r.Transient.times
   in
-  {
-    analysis_label = Printf.sprintf "tran %g %g" tstep tstop;
-    columns;
-    rows;
-    stats = Transient.stats r;
-  }
+  { analysis_label = label; columns; rows; stats = Transient.stats r }
 
 (* Give every CNFET of the deck a fresh evaluation cache of the
    configured size before any analysis runs (no-op when the config
@@ -276,6 +281,89 @@ let pp_table ?(max_rows = max_int) ?(stats = false) fmt t =
   done;
   if shown < n then Format.fprintf fmt "... (%d more rows)@." (n - shown);
   if stats then Format.fprintf fmt "%a@." Mna.pp_stats t.stats
+
+(* ------------------------------------------------------------------ *)
+(* Manifest sections                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let backend_name = function
+  | Cnt_numerics.Linear_solver.Dense_backend -> "dense"
+  | Cnt_numerics.Linear_solver.Sparse_backend -> "sparse"
+  | Cnt_numerics.Linear_solver.Auto -> "auto"
+
+(* The configuration as it will actually run: optional knobs resolve to
+   their ambient defaults, so two manifests disagree exactly when the
+   runs could behave differently. *)
+let config_manifest (c : config) =
+  let p = c.homotopy in
+  Manifest.Obj
+    [
+      ("backend", Manifest.String (backend_name c.backend));
+      ( "ordering",
+        Manifest.String
+          (Cnt_numerics.Linear_solver.ordering_name
+             (match c.ordering with
+             | Some o -> o
+             | None -> Cnt_numerics.Linear_solver.default_ordering ())) );
+      ( "assembly",
+        Manifest.String
+          (Mna.assembly_name
+             (match c.assembly with
+             | Some a -> a
+             | None -> Mna.default_assembly ())) );
+      ( "jobs",
+        Manifest.Int
+          (match c.jobs with
+          | Some j -> j
+          | None -> Cnt_par.Pool.default_jobs ()) );
+      ("gmin", Manifest.Float c.gmin);
+      ("tol", Manifest.Float c.tol);
+      ("max_iter", Manifest.Int c.max_iter);
+      ( "homotopy",
+        Manifest.Obj
+          [
+            ("damped", Manifest.Bool p.Homotopy.damped);
+            ("gmin_stepping", Manifest.Bool p.Homotopy.gmin_stepping);
+            ("source_stepping", Manifest.Bool p.Homotopy.source_stepping);
+            ("gmin_source", Manifest.Bool p.Homotopy.gmin_source);
+            ("gmin_start", Manifest.Float p.Homotopy.gmin_start);
+            ("gmin_steps", Manifest.Int p.Homotopy.gmin_steps);
+            ("source_steps", Manifest.Int p.Homotopy.source_steps);
+          ] );
+      ( "cache",
+        match c.cache with
+        | None -> Manifest.Null
+        | Some cfg -> Manifest.String (Cnt_core.Eval_cache.config_to_string cfg)
+      );
+    ]
+
+(* One analysis result pinned by shape, solver stats and an MD5 of the
+   exact row bits — enough to prove two runs produced the same
+   waveform without embedding it. *)
+let table_manifest t =
+  let s = t.stats in
+  Manifest.Obj
+    [
+      ("analysis", Manifest.String t.analysis_label);
+      ( "columns",
+        Manifest.List
+          (Array.to_list (Array.map (fun c -> Manifest.String c) t.columns)) );
+      ("rows", Manifest.Int (Array.length t.rows));
+      ("digest_md5", Manifest.String (Manifest.digest_rows t.rows));
+      ( "stats",
+        Manifest.Obj
+          [
+            ("backend", Manifest.String s.Mna.backend);
+            ("unknowns", Manifest.Int s.Mna.unknowns);
+            ("nonzeros", Manifest.Int s.Mna.nonzeros);
+            ("newton_iterations", Manifest.Int s.Mna.newton_iterations);
+            ("linear_solves", Manifest.Int s.Mna.linear_solves);
+            ("device_evals", Manifest.Int s.Mna.device_evals);
+            ("assemble_s", Manifest.Float s.Mna.assemble_s);
+            ("solve_s", Manifest.Float s.Mna.solve_s);
+            ("residual", Manifest.Float s.Mna.residual);
+          ] );
+    ]
 
 let table_to_csv t =
   let buf = Buffer.create 1024 in

@@ -70,3 +70,19 @@ val pp_table : ?max_rows:int -> ?stats:bool -> Format.formatter -> table -> unit
     footer. *)
 
 val table_to_csv : table -> string
+
+(** {1 Run manifests}
+
+    Sections for the per-run provenance record the CLIs write with
+    [--report] (see {!Cnt_obs.Manifest}). *)
+
+val config_manifest : config -> Cnt_obs.Manifest.json
+(** The configuration {e as resolved}: [None] knobs (ordering,
+    assembly, jobs) render as the ambient default they will actually
+    use, so two manifests differ exactly when the runs could. *)
+
+val table_manifest : table -> Cnt_obs.Manifest.json
+(** Analysis label, column names, row count, per-analysis solver stats
+    and an MD5 digest of the exact row bit patterns
+    ({!Cnt_obs.Manifest.digest_rows}) — pins the waveform without
+    embedding it. *)

@@ -220,7 +220,20 @@ let solve ?(gmin = 1e-12) ?(tol = 1e-9) ?(max_iter = 200) ?(max_step = 0.5)
     | rung :: rest -> (
         Fault.set_rung rung;
         Obs.incr (rung_counter rung);
-        if rung <> Diag.Plain_newton then Obs.incr c_rescues;
+        if rung <> Diag.Plain_newton then begin
+          Obs.incr c_rescues;
+          (* A milestone, not a tick: escalation is a property of the
+             deck and the policy, not of scheduling, so the stream is
+             identical at any --jobs.  The sweep point comes from the
+             domain-local fault context the analyses already maintain. *)
+          if Cnt_obs.Progress.on () then
+            Cnt_obs.Progress.emit
+              (Cnt_obs.Progress.Rung_escalation
+                 {
+                   rung = Diag.rung_name rung;
+                   sweep_point = Fault.current_point ();
+                 })
+        end;
         let fb0 = Cnt_core.Scv_solver.fallback_events () in
         let outcome =
           rung_body rung policy ~gmin ~tol ~max_iter ~max_step ~ind c

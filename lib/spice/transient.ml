@@ -3,6 +3,7 @@
    solve per time step, and step halving on convergence failure. *)
 
 module Obs = Cnt_obs.Obs
+module Progress = Cnt_obs.Progress
 
 exception Analysis_error of string
 
@@ -101,6 +102,7 @@ let run ?(method_ = Trapezoidal) ?(gmin = 1e-12) ?tol ?(max_newton = 100)
   let t = ref 0.0 in
   let h = ref tstep in
   let h_min = tstep /. 1024.0 in
+  let n_accepted = ref 0 and n_rejected = ref 0 in
   while !t < tstop -. 1e-18 do
     let h_now = Float.min !h (tstop -. !t) in
     let t_next = !t +. h_now in
@@ -115,6 +117,17 @@ let run ?(method_ = Trapezoidal) ?(gmin = 1e-12) ?tol ?(max_newton = 100)
       t := t_next;
       times := t_next :: !times;
       solutions := x :: !solutions;
+      if Progress.on () then begin
+        incr n_accepted;
+        Progress.emit
+          (Progress.Tran_step
+             {
+               t = t_next;
+               t_stop = tstop;
+               accepted = !n_accepted;
+               rejected = !n_rejected;
+             })
+      end;
       (* recover the step size after successful solves *)
       if !h < tstep then h := Float.min tstep (!h *. 2.0)
     in
@@ -127,6 +140,7 @@ let run ?(method_ = Trapezoidal) ?(gmin = 1e-12) ?tol ?(max_newton = 100)
     | x -> accept x
     | exception Mna.No_convergence _ ->
         Obs.incr c_steps_rejected;
+        if Progress.on () then incr n_rejected;
         if h_now <= h_min then begin
           (* step halving is out of road: climb the full ladder at the
              minimum step before giving up.  Continuation rungs only
