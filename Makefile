@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test check bench bench-diff obs-smoke obs-bench par-check par-bench conv-check conv-smoke conv-bench cache-check cache-smoke cache-bench asm-check asm-smoke asm-bench repro clean
+.PHONY: all build test check bench bench-diff obs-smoke obs-bench par-check par-bench conv-check conv-smoke conv-bench cache-check cache-smoke cache-bench asm-check asm-smoke asm-bench server-check server-smoke server-bench repro clean
 
 all: build
 
@@ -87,6 +87,21 @@ cache-smoke:
 cache-bench:
 	dune exec bench/main.exe -- cache-json > results/BENCH_cache.json
 	@tail -n +2 results/BENCH_cache.json | head -n 6
+
+# Daemon/protocol gate: wire round-trips, byte parity offline vs
+# --connect, edge cases, graceful drain (see docs/SERVER.md).
+server-check:
+	dune exec test/test_server.exe
+
+# Quick daemon-throughput smoke run (16 requests; prints JSON to stdout).
+server-smoke:
+	@dune exec bench/main.exe -- server-json --smoke
+
+# Full daemon-throughput benchmark (cold vs warm caches); refreshes the
+# committed artefact.
+server-bench:
+	dune exec bench/main.exe -- server-json > results/BENCH_server.json
+	@tail -n +2 results/BENCH_server.json | head -n 6
 
 repro:
 	dune exec bin/repro.exe -- all

@@ -257,6 +257,16 @@ let () =
           "usage: compare OLD.json NEW.json [--threshold PCT] [--quiet]";
         exit 2
   in
+  (* A missing baseline is the normal first-run state (CI caches start
+     empty): note it and pass instead of failing the pipeline.  A
+     missing NEW file is still an error — the bench that was supposed
+     to produce it did not run. *)
+  if not (Sys.file_exists old_path) then begin
+    Printf.printf
+      "bench-diff: no baseline %s (first run?) — nothing to compare, pass\n"
+      old_path;
+    exit 0
+  end;
   let load path =
     match parse_json (read_file path) with
     | j -> flatten j

@@ -1019,6 +1019,112 @@ let assembly_json ~repeats =
   Buffer.add_string buf "}\n";
   print_string (Buffer.contents buf)
 
+(* ------------------------------------------------------------------ *)
+(* Daemon round-trip throughput (ISSUE 8).
+
+   Requests/sec and latency percentiles for cnt-rpc/1 round trips over
+   a mixed golden-deck workload against an in-process Server, in two
+   configurations: COLD runs every request through a full parse +
+   symbolic compile (deck cache sized to one entry with two alternating
+   decks, compile cache disabled), WARM shares the canonical parsed
+   deck and the compiled template across requests the way a long-lived
+   cntd does.  Each request opens its own connection, mirroring one
+   `cspice --connect` invocation.  `main server-json` emits the JSON
+   artefact (committed as results/BENCH_server.json). *)
+
+let server_json ~requests =
+  let find_deck name =
+    let candidates =
+      [
+        Filename.concat "test/decks" name;
+        Filename.concat
+          (Filename.dirname Sys.executable_name)
+          (Filename.concat "../test/decks" name);
+      ]
+    in
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> failwith ("server bench: cannot find deck " ^ name)
+  in
+  let read_deck path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let decks =
+    [|
+      read_deck (find_deck "golden_divider.cir");
+      read_deck (find_deck "golden_inverter.cir");
+    |]
+  in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cnt-bench-%d.sock" (Unix.getpid ()))
+  in
+  let config = Cnt_spice.Engine.default_config in
+  let one_request deck_text =
+    let t0 = Unix.gettimeofday () in
+    (match Cnt_server.Client.connect sock with
+    | Error msg -> failwith ("server bench: connect: " ^ msg)
+    | Ok conn -> (
+        Fun.protect ~finally:(fun () -> Cnt_server.Client.close conn)
+        @@ fun () ->
+        match
+          Cnt_server.Client.run conn ~deck_text ~config ~progress:false ()
+        with
+        | Ok (tables, _) -> if tables = [] then failwith "no tables"
+        | Error e -> failwith ("server bench: " ^ e.Cnt_server.Client.message)));
+    Unix.gettimeofday () -. t0
+  in
+  (* one run of the mixed workload against a freshly started server *)
+  let phase ~deck_cache_entries ~compile_cache_entries =
+    if Sys.file_exists sock then Sys.remove sock;
+    let server =
+      Cnt_server.Server.start
+        {
+          (Cnt_server.Server.default_config
+             ~listen:(Cnt_server.Server.Unix_path sock))
+          with
+          Cnt_server.Server.deck_cache_entries;
+          compile_cache_entries;
+        }
+    in
+    Fun.protect ~finally:(fun () -> Cnt_server.Server.stop server)
+    @@ fun () ->
+    let lat =
+      Array.init requests (fun i -> one_request decks.(i mod 2))
+    in
+    Array.sort compare lat;
+    let pct p = lat.(min (requests - 1) (int_of_float (p *. float requests))) in
+    let total = Array.fold_left ( +. ) 0.0 lat in
+    (total, pct 0.50, pct 0.99)
+  in
+  (* cold: 1-entry deck cache + alternating decks evicts every request;
+     compile cache off.  warm: both caches on, daemon-sized. *)
+  let cold_total, cold_p50, cold_p99 =
+    phase ~deck_cache_entries:1 ~compile_cache_entries:0
+  in
+  let warm_total, warm_p50, warm_p99 =
+    phase ~deck_cache_entries:64 ~compile_cache_entries:64
+  in
+  let fr = float_of_int requests in
+  Printf.printf "{\n  \"benchmark\": \"server\",\n  \"requests\": %d,\n"
+    requests;
+  Printf.printf
+    "  \"cold\": {\"total_s\": %.6g, \"requests_per_s\": %.1f, \"p50_s\": \
+     %.6g, \"p99_s\": %.6g},\n"
+    cold_total (fr /. cold_total) cold_p50 cold_p99;
+  Printf.printf
+    "  \"warm\": {\"total_s\": %.6g, \"requests_per_s\": %.1f, \"p50_s\": \
+     %.6g, \"p99_s\": %.6g},\n"
+    warm_total (fr /. warm_total) warm_p50 warm_p99;
+  Printf.printf "  \"speedup_warm_vs_cold_p50\": %.3g,\n"
+    (cold_p50 /. warm_p50);
+  Printf.printf "  \"speedup_warm_vs_cold_total\": %.3g\n}\n"
+    (cold_total /. warm_total)
+
 let all_tests =
   Test.make_grouped ~name:"cntsim"
     [
@@ -1069,6 +1175,11 @@ let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "assembly-json" then begin
     let smoke = Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke" in
     assembly_json ~repeats:(if smoke then 1 else 5);
+    exit 0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "server-json" then begin
+    let smoke = Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke" in
+    server_json ~requests:(if smoke then 16 else 200);
     exit 0
   end;
   List.iter

@@ -117,8 +117,19 @@ let cache_arg =
     & opt (some cache_conv) None
     & info [ "cache" ] ~docv:"SPEC" ~doc ~env:(Cmd.Env.info "CNT_CACHE"))
 
+let deadline_arg =
+  let doc =
+    "Abort the run after $(docv) seconds of wall clock with a structured \
+     deadline error (exit 5).  Checked before every analysis and on every \
+     progress tick; see docs/SERVER.md for the daemon-side equivalent."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
 let make solver ordering assembly jobs gmin tol max_iter no_homotopy
-    gmin_start gmin_steps source_steps cache =
+    gmin_start gmin_steps source_steps cache deadline =
   {
     Cnt_spice.Engine.backend = solver;
     ordering;
@@ -137,10 +148,11 @@ let make solver ordering assembly jobs gmin tol max_iter no_homotopy
            source_steps;
          });
     cache;
+    deadline;
   }
 
 let term =
   Term.(
     const make $ solver_arg $ ordering_arg $ assembly_arg $ Cli_jobs.arg
     $ gmin_arg $ tol_arg $ max_iter_arg $ no_homotopy_arg $ gmin_start_arg
-    $ gmin_steps_arg $ source_steps_arg $ cache_arg)
+    $ gmin_steps_arg $ source_steps_arg $ cache_arg $ deadline_arg)

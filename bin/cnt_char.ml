@@ -197,7 +197,7 @@ let profile_arg =
 let cmd =
   let doc = "print ballistic CNFET output characteristics" in
   Cmd.v
-    (Cmd.info "cnt_char" ~doc)
+    (Cmd.info "cnt_char" ~version:Cnt_obs.Version.version ~doc)
     Term.(
       const run $ which_arg $ temp_arg $ fermi_arg $ diameter_arg $ tox_arg
       $ vgs_arg $ vds_max_arg $ points_arg $ format_arg $ optimise_arg

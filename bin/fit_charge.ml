@@ -85,7 +85,7 @@ let current_arg =
 let cmd =
   let doc = "fit piecewise non-linear mobile-charge approximations" in
   Cmd.v
-    (Cmd.info "fit_charge" ~doc)
+    (Cmd.info "fit_charge" ~version:Cnt_obs.Version.version ~doc)
     Term.(
       const run $ temp_arg $ fermi_arg $ offsets_arg $ degrees_arg $ window_arg
       $ optimise_arg $ current_arg)

@@ -104,7 +104,7 @@ let dir_arg =
 let cmd =
   let doc = "regenerate the tables and figures of the CNT piecewise-model paper" in
   Cmd.v
-    (Cmd.info "repro" ~doc)
+    (Cmd.info "repro" ~version:Cnt_obs.Version.version ~doc)
     Term.(
       const run_repro $ list_arg $ quiet_arg $ profile_arg $ dir_arg
       $ Cnt_cli.Cli_obs.term $ Cnt_cli.Cli_config.term $ ids_arg)

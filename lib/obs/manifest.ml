@@ -101,7 +101,9 @@ let create ~tool ?(argv = []) () =
       List.rev
         [
           ("schema", String schema);
-          ("tool", String tool);
+          ( "tool",
+            Obj [ ("name", String tool); ("version", String Version.version) ]
+          );
           ("argv", List (List.map (fun a -> String a) argv));
           ("created_unix_s", Float (Unix.gettimeofday ()));
           ("host", host);

@@ -25,9 +25,9 @@ val json_to_string : json -> string
 type t
 
 val create : tool:string -> ?argv:string list -> unit -> t
-(** A manifest stamped with the schema version, tool name, argv, the
-    creation time and a host section (cores, OS type, OCaml
-    version). *)
+(** A manifest stamped with the schema version, a tool section (name
+    plus the toolchain {!Version.version}), argv, the creation time
+    and a host section (cores, OS type, OCaml version). *)
 
 val set : t -> string -> json -> unit
 (** Add a top-level section, or replace one of the same name; sections

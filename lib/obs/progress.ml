@@ -101,25 +101,31 @@ let on () = !active
 let emit ev =
   if !active then begin
     Mutex.lock dispatch_mutex;
-    let t = Unix.gettimeofday () in
-    let is_milestone = milestone ev in
-    List.iter
-      (fun s ->
-        let pass =
-          is_milestone
-          ||
-          if t -. s.s_last >= s.s_min_interval then begin
-            s.s_last <- t;
-            true
-          end
-          else false
-        in
-        if pass then
-          (* a dead sink (closed stderr, full disk) must not kill the
-             solve mid-run *)
-          try s.s_emit ev with Sys_error _ -> ())
-      !sinks;
-    Mutex.unlock dispatch_mutex
+    (* The dispatch mutex must survive a raising sink: cancellation
+       sinks (request deadlines, dropped daemon clients) abort a solve
+       by raising from the callback, and the next emit — possibly from
+       another domain — still needs the lock. *)
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock dispatch_mutex)
+      (fun () ->
+        let t = Unix.gettimeofday () in
+        let is_milestone = milestone ev in
+        List.iter
+          (fun s ->
+            let pass =
+              is_milestone
+              ||
+              if t -. s.s_last >= s.s_min_interval then begin
+                s.s_last <- t;
+                true
+              end
+              else false
+            in
+            if pass then
+              (* a dead sink (closed stderr, full disk) must not kill
+                 the solve mid-run *)
+              try s.s_emit ev with Sys_error _ -> ())
+          !sinks)
   end
 
 let install s =
@@ -200,3 +206,9 @@ let jsonl ?(min_interval = 0.05) oc =
   sink ~min_interval (fun ev ->
       output_string oc (event_to_json ev ^ "\n");
       flush oc)
+
+(* Formatting without the out_channel: each event becomes its one-line
+   JSON and goes to the callback.  This is how the daemon streams
+   progress frames onto a client socket — the line is the same bytes
+   [jsonl] would write, the transport is the caller's problem. *)
+let lines ?(min_interval = 0.05) write = sink ~min_interval (fun ev -> write (event_to_json ev))

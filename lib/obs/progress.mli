@@ -67,6 +67,16 @@ val jsonl : ?min_interval:float -> out_channel -> sink
 (** One {!event_to_json} line per event ([min_interval] default
     0.05 s), flushed per line. *)
 
+val lines : ?min_interval:float -> (string -> unit) -> sink
+(** Like {!jsonl} but the {!event_to_json} line (no newline) goes to a
+    callback instead of an out_channel — the sink the [cntd] daemon
+    installs to frame progress events onto a client socket.
+    [min_interval] default 0.05 s.  Exceptions other than [Sys_error]
+    raised by the callback propagate out of {!emit} (the dispatch
+    mutex is released first): that is the supported way to cancel a
+    running solve from the outside — request deadlines and
+    disconnected daemon clients both abort this way. *)
+
 (** {1 Installation} *)
 
 val on : unit -> bool

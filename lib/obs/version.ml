@@ -1,0 +1,9 @@
+(* The one toolchain version string every binary and manifest shares.
+   Bump it when a release-worthy change lands; the CLIs surface it via
+   --version and the run manifest embeds it in the tool section, so an
+   artefact can always be traced to the build that produced it. *)
+
+let version = "0.8.0"
+
+(* "cspice (cntsim) 0.8.0" — the conventional --version line. *)
+let tool_line tool = Printf.sprintf "%s (cntsim) %s" tool version

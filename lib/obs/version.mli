@@ -1,0 +1,9 @@
+(** The toolchain version string shared by every CLI and manifest. *)
+
+val version : string
+(** Bare semantic version, e.g. ["0.8.0"] — the value cmdliner's
+    [--version] prints and {!Manifest.create} embeds in the [tool]
+    section. *)
+
+val tool_line : string -> string
+(** [tool_line "cspice"] is ["cspice (cntsim) 0.8.0"]. *)

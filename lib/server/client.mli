@@ -1,0 +1,51 @@
+(** Client side of cnt-rpc/1 — the library under [cspice --connect].
+
+    {!run} sends one deck and streams the response: the title callback
+    fires on the {e accepted} frame (before the solve, matching the
+    offline print order), progress events re-materialise as
+    {!Cnt_obs.Progress.event} values for local re-emission, and the
+    tables come back as {!Cnt_spice.Engine.table} values reconstructed
+    float-exactly — printing them through the offline code path yields
+    byte-identical stdout. *)
+
+open Cnt_spice
+
+type connection
+
+type error = {
+  kind : string;
+      (** an engine error kind ({!Cnt_spice.Diag.error_kind}), a
+          protocol kind ([bad_json], [bad_request], [unsupported_rpc],
+          [oversized]) or ["transport"] for connection-level failures *)
+  exit_code : int;
+      (** the exit the offline CLI would have used; transport failures
+          map to 4 (internal) *)
+  message : string;
+  error_json : string;  (** one-line JSON outcome for run manifests *)
+}
+
+val connect : string -> (connection, string) result
+(** Dial a daemon: ["tcp:HOST:PORT"] or a Unix socket path (the same
+    spellings [cntd --listen] accepts). *)
+
+val close : connection -> unit
+
+val run :
+  connection ->
+  ?id:string ->
+  deck_text:string ->
+  config:Engine.config ->
+  progress:bool ->
+  ?on_title:(string -> unit) ->
+  ?on_event:(Cnt_obs.Progress.event -> unit) ->
+  unit ->
+  (Engine.table list * Json.t, error) result
+(** Submit a deck and block until the result frame.  [config] travels
+    whole; the daemon overrides its base field-wise.  [progress]
+    requests progress frames; decoded events reach [on_event].  The
+    returned {!Json.t} is the daemon's server-info object (version,
+    cache outcomes, run time) for the caller's manifest. *)
+
+val ping : connection -> ?id:string -> unit -> (Json.t, string) result
+(** Round-trip a ping; returns the daemon's server-info object with
+    cache statistics. *)

@@ -1,0 +1,79 @@
+(* The daemon's compiled-deck cache: one canonical {!Parser.deck} per
+   deck-content MD5.
+
+   Keeping a single canonical deck value per content hash is what makes
+   the two pool-wide cache layers work across requests:
+
+   - {!Cnt_spice.Mna}'s compile cache is keyed by the {e physical}
+     identity of the circuit value, so only repeated runs of the same
+     canonical deck share a symbolic compilation;
+   - each CNFET's bias-point evaluation cache lives on the model record
+     inside the circuit, so reusing the circuit value reuses the warm
+     cache (the daemon runs the engine with [config.cache = None],
+     which leaves the attached stores alone).
+
+   Parse failures are not cached — malformed text is cheap to reject
+   and the message must reflect the request that sent it.  Thread-safe;
+   FIFO eviction. *)
+
+open Cnt_spice
+
+type entry = {
+  md5 : string;
+  deck : Parser.deck;
+  mutable runs : int;  (* requests served from this entry, hit or miss *)
+}
+
+type t = {
+  mutable entries : entry list;  (* newest first *)
+  max_entries : int;
+  eval_cache : Cnt_core.Eval_cache.config option;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(max_entries = 64) ?eval_cache () =
+  if max_entries < 1 then
+    invalid_arg "Deck_cache.create: max_entries must be >= 1";
+  { entries = []; max_entries; eval_cache; mutex = Mutex.create ();
+    hits = 0; misses = 0 }
+
+(* Attach the server's eval-cache config to every CNFET once, at
+   insert, so each subsequent request over this deck value starts from
+   the warm store instead of a fresh one. *)
+let apply_eval_cache t deck =
+  match t.eval_cache with
+  | None -> ()
+  | Some cfg ->
+      List.iter
+        (function
+          | Circuit.Cnfet { params; _ } ->
+              Cnt_core.Cnt_model.set_cache params.Circuit.model cfg
+          | _ -> ())
+        (Circuit.elements deck.Parser.circuit)
+
+let find_or_parse t text =
+  let md5 = Digest.to_hex (Digest.string text) in
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  match List.find_opt (fun e -> e.md5 = md5) t.entries with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      e.runs <- e.runs + 1;
+      Ok (e, true)
+  | None -> (
+      match Parser.parse text with
+      | exception Parser.Parse_error msg -> Error msg
+      | deck ->
+          t.misses <- t.misses + 1;
+          apply_eval_cache t deck;
+          let e = { md5; deck; runs = 1 } in
+          t.entries <-
+            e :: List.filteri (fun i _ -> i < t.max_entries - 1) t.entries;
+          Ok (e, false))
+
+let stats t =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  (List.length t.entries, t.hits, t.misses)

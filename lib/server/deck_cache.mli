@@ -1,0 +1,35 @@
+(** The daemon's deck cache: one canonical parsed {!Cnt_spice.Parser}
+    deck per content MD5.
+
+    The canonical value is the anchor for cross-request cache sharing:
+    {!Cnt_spice.Mna}'s compile cache keys on the circuit value's
+    physical identity, and the per-CNFET bias-point evaluation caches
+    live on the model records inside it — so every request whose deck
+    text hashes to a cached entry reuses both the symbolic compilation
+    and the warm evaluation caches.  Thread-safe; FIFO eviction; parse
+    failures are never cached. *)
+
+type entry = {
+  md5 : string;  (** hex MD5 of the exact deck text *)
+  deck : Cnt_spice.Parser.deck;
+  mutable runs : int;  (** requests served through this entry *)
+}
+
+type t
+
+val create :
+  ?max_entries:int ->
+  ?eval_cache:Cnt_core.Eval_cache.config ->
+  unit ->
+  t
+(** [max_entries] defaults to 64 (raises [Invalid_argument] below 1).
+    [eval_cache] is attached to every CNFET of a deck once, when it
+    enters the cache — the daemon then runs the engine with
+    [cache = None] so the stores stay warm across requests. *)
+
+val find_or_parse : t -> string -> (entry * bool, string) result
+(** [(entry, was_hit)] for the deck text, parsing and inserting on
+    miss; [Error message] when the text does not parse. *)
+
+val stats : t -> int * int * int
+(** [(live_entries, hits, misses)]. *)

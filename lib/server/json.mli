@@ -1,0 +1,37 @@
+(** Minimal JSON for the cnt-rpc wire protocol: a value tree, a strict
+    parser, and a renderer whose float encoding round-trips every
+    IEEE-754 double exactly (finite values as [%.17g]; NaN and the
+    infinities as the strings ["NaN"] / ["Infinity"] / ["-Infinity"],
+    which {!to_float} maps back).  No external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+  | Raw of string
+      (** pre-rendered JSON embedded verbatim when rendering; never
+          produced by {!parse} *)
+
+val to_string : t -> string
+(** Compact one-line rendering; object fields keep their given
+    order. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document (trailing garbage is an
+    error).  Nesting is capped at depth 64 so a hostile request cannot
+    blow the stack. *)
+
+(** {1 Accessors} — shape-tolerant lookups used by the decoders. *)
+
+val member : string -> t -> t option
+val to_str : t -> string option
+
+val to_float : t -> float option
+(** Accepts [Num] and the three special-value strings. *)
+
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_list : t -> t list option

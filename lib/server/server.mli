@@ -1,0 +1,71 @@
+(** The [cntd] daemon core: accept loop, per-connection handler
+    threads, and a single global run mutex serialising engine
+    execution ({!Cnt_par.Pool} allows one parallel region at a time, so
+    the daemon admits many connections but runs one deck at once — each
+    request still fans out across the pool up to the jobs budget).
+
+    Cross-request cache sharing: a {!Deck_cache} keeps one canonical
+    parsed deck per content hash (anchoring the per-CNFET evaluation
+    caches), and {!Cnt_spice.Mna.enable_compile_cache} shares symbolic
+    compilations keyed on those canonical circuit values.  See
+    [docs/SERVER.md] for the wire protocol and operational notes. *)
+
+open Cnt_spice
+
+(** {1 Listen addresses} *)
+
+type listen =
+  | Unix_path of string  (** Unix-domain socket path *)
+  | Tcp of string * int
+
+val listen_of_string : string -> (listen, string) result
+(** ["tcp:HOST:PORT"] is TCP; anything else is a Unix socket path. *)
+
+val listen_to_string : listen -> string
+
+(** {1 Configuration} *)
+
+type config = {
+  listen : listen;
+  base : Engine.config;
+      (** per-request defaults; a request's [config] object overrides
+          field-wise.  The [cache] field is applied once per deck when
+          it enters the deck cache (keeping stores warm across
+          requests), never per run. *)
+  jobs_budget : int;
+      (** hard per-request cap on [jobs]; requests asking for more are
+          clamped *)
+  max_request_bytes : int;
+      (** request-line byte cap; an oversized line gets a structured
+          error and the connection is dropped (the stream cannot be
+          resynced) *)
+  deck_cache_entries : int;
+  compile_cache_entries : int;  (** 0 disables the compile cache *)
+  verbose : bool;  (** per-connection/request logging on stderr *)
+}
+
+val default_config : listen:listen -> config
+(** Engine defaults, jobs budget = recommended domain count, 8 MiB
+    request cap, 64-entry caches, quiet. *)
+
+(** {1 Lifecycle} *)
+
+type t
+
+val start : config -> t
+(** Bind, listen and return immediately; connections are served on
+    background threads.  A stale Unix socket file left by a dead daemon
+    is replaced; an existing {e non-socket} file at the listen path
+    raises [Invalid_argument].  Ignores [SIGPIPE] process-wide and
+    enables the {!Cnt_spice.Mna} compile cache. *)
+
+val stop : ?grace_s:float -> ?drain_s:float -> t -> unit
+(** Graceful drain: stop accepting, let connections with a request in
+    flight finish it (up to [drain_s], default 30 s), give idle
+    connections [grace_s] (default 1 s) before shutting their read
+    side, then return.  Idempotent.  The [cntd] binary calls this on
+    [SIGTERM]/[SIGINT]. *)
+
+val requests_served : t -> int
+
+val listen_addr : t -> listen

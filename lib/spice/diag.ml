@@ -130,17 +130,26 @@ type error =
   | Bad_deck of string  (* deck semantics: unknown source, bad ranges *)
   | Convergence of t
   | Output_write of string  (* a requested artefact path was unwritable *)
+  | Deadline_exceeded of { budget_s : float; elapsed_s : float }
+      (* the run outlived its wall-clock budget and was aborted *)
   | Internal of string  (* unexpected failure; a bug until shown otherwise *)
 
+exception Deadline of { budget_s : float; elapsed_s : float }
+(* Raised (from a progress sink or an analysis boundary) to abort a
+   run whose deadline passed; the engine maps it to
+   [Deadline_exceeded]. *)
+
 (* The cspice exit-code contract (docs/CONVERGENCE.md): 0 ok, 2
-   parse/usage/output, 3 convergence failure, 4 internal error.
-   An unwritable --report/--metrics/--trace path is a usage-class
-   problem — the caller named a destination that cannot exist — so it
-   shares exit 2 rather than masquerading as an engine failure. *)
+   parse/usage/output, 3 convergence failure, 4 internal error, 5
+   deadline exceeded.  An unwritable --report/--metrics/--trace path is
+   a usage-class problem — the caller named a destination that cannot
+   exist — so it shares exit 2 rather than masquerading as an engine
+   failure. *)
 let exit_code = function
   | Parse _ | Bad_deck _ | Output_write _ -> 2
   | Convergence _ -> 3
   | Internal _ -> 4
+  | Deadline_exceeded _ -> 5
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -226,6 +235,9 @@ let error_message = function
   | Bad_deck msg -> "deck error: " ^ msg
   | Convergence d -> to_string d
   | Output_write msg -> "output error: " ^ msg
+  | Deadline_exceeded { budget_s; elapsed_s } ->
+      Printf.sprintf "deadline exceeded: %.3g s budget, %.3g s elapsed"
+        budget_s elapsed_s
   | Internal msg -> "internal error: " ^ msg
 
 let error_kind = function
@@ -233,6 +245,7 @@ let error_kind = function
   | Bad_deck _ -> "bad_deck"
   | Convergence _ -> "convergence"
   | Output_write _ -> "output_write"
+  | Deadline_exceeded _ -> "deadline"
   | Internal _ -> "internal"
 
 (* The manifest/outcome rendering of an error: kind, exit code, the
@@ -242,6 +255,9 @@ let error_json e =
   let diag =
     match e with
     | Convergence d -> Printf.sprintf ",\"diag\":%s" (to_json d)
+    | Deadline_exceeded { budget_s; elapsed_s } ->
+        Printf.sprintf ",\"deadline\":{\"budget_s\":%s,\"elapsed_s\":%s}"
+          (json_float budget_s) (json_float elapsed_s)
     | _ -> ""
   in
   Printf.sprintf

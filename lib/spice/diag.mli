@@ -88,17 +88,26 @@ type error =
   | Output_write of string
       (** a requested artefact path ([--report], [--metrics],
           [--trace], [--csv-dir]) could not be written *)
+  | Deadline_exceeded of { budget_s : float; elapsed_s : float }
+      (** the run outlived its wall-clock budget ([--deadline], or the
+          [deadline_s] field of a [cntd] request) and was aborted *)
   | Internal of string
+
+exception Deadline of { budget_s : float; elapsed_s : float }
+(** Raised to abort a run whose deadline passed — from the engine's
+    deadline progress sink or an analysis boundary;
+    {!Engine.run_deck_result} maps it to [Deadline_exceeded]. *)
 
 val exit_code : error -> int
 (** The cspice exit-code contract: [Parse]/[Bad_deck]/[Output_write]
-    → 2, [Convergence] → 3, [Internal] → 4 (success is 0). *)
+    → 2, [Convergence] → 3, [Internal] → 4, [Deadline_exceeded] → 5
+    (success is 0). *)
 
 val error_message : error -> string
 
 val error_kind : error -> string
 (** Stable machine-readable tag: ["parse"], ["bad_deck"],
-    ["convergence"], ["output_write"], ["internal"]. *)
+    ["convergence"], ["output_write"], ["deadline"], ["internal"]. *)
 
 val error_json : error -> string
 (** One-line JSON outcome record: status, kind, exit code, message,

@@ -27,6 +27,8 @@ type config = {
   homotopy : Homotopy.policy;
   cache : Cnt_core.Eval_cache.config option;
       (* None: leave each model's cache as constructed *)
+  deadline : float option;
+      (* wall-clock budget in seconds for the whole deck; None: none *)
 }
 
 let default_config =
@@ -40,6 +42,7 @@ let default_config =
     max_iter = 200;
     homotopy = Homotopy.default;
     cache = None;
+    deadline = None;
   }
 
 let default_prints circuit prints =
@@ -225,28 +228,53 @@ let apply_cache_config config circuit =
           | _ -> ())
         (Circuit.elements circuit)
 
+(* Wall-clock deadline enforcement.  The budget covers the whole deck:
+   a check runs before every analysis, and a progress sink checks on
+   every tick the analyses emit (sweep points, transient steps,
+   samples), raising {!Diag.Deadline} from whichever domain emitted —
+   the pool re-raises it in the caller.  Granularity is therefore one
+   progress tick: a single Newton solve that emits nothing (an .op
+   card) is only interrupted at its analysis boundary.  Installing the
+   sink turns the progress stream on, which costs one branch per call
+   site — only paid when a deadline is actually set. *)
+let with_deadline ~budget_s f =
+  let t0 = Unix.gettimeofday () in
+  let check () =
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    if elapsed_s > budget_s then raise (Diag.Deadline { budget_s; elapsed_s })
+  in
+  Progress.with_sink (Progress.sink (fun _ev -> check ())) (fun () -> f check)
+
 (* Raising core shared by the result and shim entry points. *)
 let run_deck_exn ~config (deck : Parser.deck) =
   apply_cache_config config deck.Parser.circuit;
-  List.map
-    (fun analysis ->
-      match analysis with
-      | Parser.Op -> op_table ~config deck.Parser.circuit deck.Parser.prints
-      | Parser.Dc_sweep { source; start; stop; step } ->
-          dc_table ~config deck.Parser.circuit deck.Parser.prints ~source
-            ~start ~stop ~step
-      | Parser.Tran { tstep; tstop } ->
-          tran_table ~config deck.Parser.circuit deck.Parser.prints ~tstep
-            ~tstop
-      | Parser.Ac_sweep { per_decade; fstart; fstop } ->
-          ac_table ~config deck.Parser.circuit deck.Parser.prints ~per_decade
-            ~fstart ~fstop)
-    deck.Parser.analyses
+  let run check =
+    List.map
+      (fun analysis ->
+        check ();
+        match analysis with
+        | Parser.Op -> op_table ~config deck.Parser.circuit deck.Parser.prints
+        | Parser.Dc_sweep { source; start; stop; step } ->
+            dc_table ~config deck.Parser.circuit deck.Parser.prints ~source
+              ~start ~stop ~step
+        | Parser.Tran { tstep; tstop } ->
+            tran_table ~config deck.Parser.circuit deck.Parser.prints ~tstep
+              ~tstop
+        | Parser.Ac_sweep { per_decade; fstart; fstop } ->
+            ac_table ~config deck.Parser.circuit deck.Parser.prints ~per_decade
+              ~fstart ~fstop)
+      deck.Parser.analyses
+  in
+  match config.deadline with
+  | None -> run ignore
+  | Some budget_s -> with_deadline ~budget_s run
 
 let run_deck_result ?(config = default_config) deck =
   match run_deck_exn ~config deck with
   | tables -> Ok tables
   | exception Diag.Convergence_failure d -> Error (Diag.Convergence d)
+  | exception Diag.Deadline { budget_s; elapsed_s } ->
+      Error (Diag.Deadline_exceeded { budget_s; elapsed_s })
   | exception Parser.Parse_error msg -> Error (Diag.Parse msg)
   | exception Dc.Analysis_error msg
   | exception Transient.Analysis_error msg
@@ -335,6 +363,10 @@ let config_manifest (c : config) =
         | None -> Manifest.Null
         | Some cfg -> Manifest.String (Cnt_core.Eval_cache.config_to_string cfg)
       );
+      ( "deadline_s",
+        match c.deadline with
+        | None -> Manifest.Null
+        | Some s -> Manifest.Float s );
     ]
 
 (* One analysis result pinned by shape, solver stats and an MD5 of the

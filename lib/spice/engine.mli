@@ -39,6 +39,14 @@ type config = {
           each model's cache as constructed.  With [quantum = 0]
           results are bitwise-identical to uncached runs; see
           [docs/CACHING.md]. *)
+  deadline : float option;
+      (** wall-clock budget in seconds for the whole deck
+          ([--deadline], or the [deadline_s] field of a [cntd]
+          request).  Checked before every analysis and on every
+          progress tick; a blown budget aborts the run with
+          {!Diag.Deadline_exceeded} (exit 5).  Granularity is one
+          progress tick, so a single solve that emits no ticks is only
+          interrupted at its analysis boundary. *)
 }
 
 val default_config : config

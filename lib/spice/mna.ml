@@ -422,7 +422,8 @@ let stamp_system ?table ~stats ~devices ~n_nodes ~add_j ~add_b ~eval_wave ~caps
 (* Compilation: symbolic pass                                          *)
 (* ------------------------------------------------------------------ *)
 
-let compile ?(backend = Linear_solver.Auto) ?ordering ?assembly circuit =
+let compile_uncached ?(backend = Linear_solver.Auto) ?ordering ?assembly
+    circuit =
   Obs.span "mna.compile" @@ fun () ->
   let ordering =
     match ordering with
@@ -627,6 +628,107 @@ let clone c =
           })
         c.table;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Compile cache: cross-run symbolic-pattern sharing                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Opt-in process-global memo over [compile_uncached], keyed by the
+   circuit value's physical identity plus the compile options.  A hit
+   returns a {!clone} of the cached template — the symbolic pattern,
+   node tables and device array are shared, the numeric workspace is
+   fresh — and a miss compiles, stores the pristine template, and
+   returns a clone of it too, so the template itself never runs Newton
+   and stays safe to clone from any future request.
+
+   Physical keying is deliberate: value-equality over a netlist is
+   both expensive and hazardous (two structurally equal circuits can
+   still diverge through their mutable model caches).  The daemon's
+   deck cache keeps one canonical [Parser.deck] per deck-content hash
+   alive, so repeated requests for the same deck text present the same
+   circuit value and hit here.  One-shot CLI runs never enable this.
+
+   Counters (under telemetry): [mna.compile_cache.hits] /
+   [mna.compile_cache.misses].  Entries evict FIFO beyond [max]. *)
+
+let c_compile_cache_hits = Obs.counter "mna.compile_cache.hits"
+let c_compile_cache_misses = Obs.counter "mna.compile_cache.misses"
+
+type compile_cache_entry = {
+  cc_circuit : Circuit.t;
+  cc_backend : Linear_solver.backend;
+  cc_ordering : Linear_solver.ordering;
+  cc_assembly : assembly;
+  cc_template : compiled;
+}
+
+let compile_cache : compile_cache_entry list ref = ref []
+let compile_cache_max = ref 0 (* 0 = disabled *)
+let compile_cache_mutex = Mutex.create ()
+let compile_cache_hits = ref 0
+let compile_cache_misses = ref 0
+
+let enable_compile_cache ?(max_entries = 64) () =
+  if max_entries < 1 then
+    invalid_arg "Mna.enable_compile_cache: max_entries must be >= 1";
+  Mutex.lock compile_cache_mutex;
+  compile_cache_max := max_entries;
+  Mutex.unlock compile_cache_mutex
+
+let disable_compile_cache () =
+  Mutex.lock compile_cache_mutex;
+  compile_cache_max := 0;
+  compile_cache := [];
+  Mutex.unlock compile_cache_mutex
+
+let compile_cache_stats () = (!compile_cache_hits, !compile_cache_misses)
+
+let compile ?(backend = Linear_solver.Auto) ?ordering ?assembly circuit =
+  if !compile_cache_max = 0 then compile_uncached ~backend ?ordering ?assembly circuit
+  else begin
+    let ordering =
+      match ordering with Some o -> o | None -> Linear_solver.default_ordering ()
+    in
+    let assembly =
+      match assembly with Some a -> a | None -> default_assembly ()
+    in
+    Mutex.lock compile_cache_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock compile_cache_mutex)
+      (fun () ->
+        match
+          List.find_opt
+            (fun e ->
+              e.cc_circuit == circuit && e.cc_backend = backend
+              && e.cc_ordering = ordering && e.cc_assembly = assembly)
+            !compile_cache
+        with
+        | Some e ->
+            incr compile_cache_hits;
+            Obs.incr c_compile_cache_hits;
+            clone e.cc_template
+        | None ->
+            incr compile_cache_misses;
+            Obs.incr c_compile_cache_misses;
+            let template =
+              compile_uncached ~backend ~ordering ~assembly circuit
+            in
+            let entry =
+              {
+                cc_circuit = circuit;
+                cc_backend = backend;
+                cc_ordering = ordering;
+                cc_assembly = assembly;
+                cc_template = template;
+              }
+            in
+            let kept =
+              (* FIFO: keep the most recent max-1 entries plus the new one *)
+              List.filteri (fun i _ -> i < !compile_cache_max - 1) !compile_cache
+            in
+            compile_cache := entry :: kept;
+            clone template)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Numeric refill and the Newton loop                                  *)

@@ -90,6 +90,29 @@ val compile :
 val assembly_mode : compiled -> assembly
 (** The assembly mode this circuit was compiled with. *)
 
+(** {2 Compile cache}
+
+    Opt-in process-global memo over {!compile}, keyed by the circuit
+    value's {e physical} identity plus the resolved compile options.
+    A hit returns a {!clone} of the cached template — symbolic
+    pattern, node tables and device array shared; numeric workspace,
+    stats and solver fresh — so repeated compiles of the same circuit
+    value skip the whole symbolic pass while remaining bitwise
+    equivalent to a cold compile.  Long-running services ([cntd]) that
+    keep one canonical parsed deck per content hash enable this; the
+    one-shot CLIs never do.  Thread-safe. *)
+
+val enable_compile_cache : ?max_entries:int -> unit -> unit
+(** Turn the cache on ([max_entries] default 64; FIFO eviction).
+    Raises [Invalid_argument] when [max_entries < 1]. *)
+
+val disable_compile_cache : unit -> unit
+(** Turn the cache off and drop every entry (the default state). *)
+
+val compile_cache_stats : unit -> int * int
+(** [(hits, misses)] since the process started.  Also ticked as the
+    telemetry counters [mna.compile_cache.hits] / [.misses]. *)
+
 val clone : compiled -> compiled
 (** A fresh numeric workspace (solver instance, stamp program, rhs,
     zeroed stats) over the same symbolic compilation — netlist, node

@@ -178,7 +178,7 @@ let test_manifest_sections () =
   Manifest.set m "x" (Manifest.Int 2);
   let s = Manifest.to_string m in
   Alcotest.(check bool) "schema" true (contains ~needle:"cnt-run-manifest/1" s);
-  Alcotest.(check bool) "tool" true (contains ~needle:"\"tool\":\"test\"" s);
+  Alcotest.(check bool) "tool" true (contains ~needle:"\"tool\":{\"name\":\"test\",\"version\":" s);
   Alcotest.(check bool) "set replaces" true (contains ~needle:"\"x\":2" s);
   Alcotest.(check bool) "no duplicate" false (contains ~needle:"\"x\":1" s)
 
@@ -306,7 +306,7 @@ let test_report_manifest_shape () =
       Alcotest.(check bool) ("manifest has " ^ needle) true (contains ~needle m))
     [
       "\"schema\":\"cnt-run-manifest/1\"";
-      "\"tool\":\"cspice\"";
+      "\"tool\":{\"name\":\"cspice\"";
       "\"config\":";
       "\"analyses\":";
       "\"digest_md5\":";
@@ -395,6 +395,24 @@ let test_bench_diff_flags_regression () =
   Alcotest.(check bool) "REGRESSED verdict" true
     (contains ~needle:"REGRESSED" out)
 
+let test_bench_diff_missing_baseline_passes () =
+  (* a missing OLD baseline is the normal first-run state: note + pass;
+     a missing NEW artefact is still an error *)
+  let new_f = write_tmp (sample_bench 1.0) in
+  let absent = Filename.temp_file "cnt_flight_absent" ".json" in
+  Sys.remove absent;
+  let code, out, _ =
+    run_command (Printf.sprintf "%s %s %s" compare_exe absent new_f)
+  in
+  Alcotest.(check int) "missing baseline exits 0" 0 code;
+  Alcotest.(check bool) "notes the missing baseline" true
+    (contains ~needle:"no baseline" out);
+  let code, _, _ =
+    run_command (Printf.sprintf "%s %s %s" compare_exe new_f absent)
+  in
+  Sys.remove new_f;
+  Alcotest.(check int) "missing NEW still exits 2" 2 code
+
 let test_bench_diff_threshold_override () =
   let old_f = write_tmp (sample_bench 1.0) in
   let new_f = write_tmp (sample_bench 1.2) in
@@ -442,6 +460,7 @@ let () =
         [
           tc "identical inputs pass" test_bench_diff_identical_passes;
           tc "20% regression flagged" test_bench_diff_flags_regression;
+          tc "missing baseline passes" test_bench_diff_missing_baseline_passes;
           tc "threshold override" test_bench_diff_threshold_override;
         ] );
     ]
