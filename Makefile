@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test check bench bench-diff obs-smoke obs-bench par-check par-bench conv-check conv-smoke conv-bench cache-check cache-smoke cache-bench asm-check asm-smoke asm-bench server-check server-smoke server-bench repro clean
+.PHONY: all build test check bench bench-diff obs-smoke obs-bench par-check par-bench conv-check conv-smoke conv-bench cache-check cache-smoke cache-bench asm-check asm-smoke asm-bench server-check server-smoke server-bench models-check models-smoke models-bench repro clean
 
 all: build
 
@@ -102,6 +102,23 @@ server-smoke:
 server-bench:
 	dune exec bench/main.exe -- server-json > results/BENCH_server.json
 	@tail -n +2 results/BENCH_server.json | head -n 6
+
+# Device-model gate: the full suite with every CNFET forced onto each
+# registered backend (see docs/MODELS.md).  Suites that pin bytes for
+# deck-declared models neutralise the variable; the bitwise-invariance
+# suites (jobs, assembly, cache) genuinely run under the forced backend.
+models-check:
+	CNT_MODEL=piecewise dune runtest --force
+	CNT_MODEL=vs dune runtest --force
+
+# Quick per-backend cost smoke run (1 repeat; prints JSON to stdout).
+models-smoke:
+	@dune exec bench/main.exe -- models-json --smoke
+
+# Full per-backend benchmark; refreshes the committed artefact.
+models-bench:
+	dune exec bench/main.exe -- models-json > results/BENCH_models.json
+	@tail -n +2 results/BENCH_models.json | head -n 5
 
 repro:
 	dune exec bin/repro.exe -- all

@@ -1125,12 +1125,137 @@ let server_json ~requests =
   Printf.printf "  \"speedup_warm_vs_cold_total\": %.3g\n}\n"
     (cold_total /. warm_total)
 
+(* ------------------------------------------------------------------ *)
+(* Device-model backends (ISSUE 9).
+
+   Per-backend cost of the registry-dispatched model tier: scalar
+   bias-point evaluation, a DC inverter VTC sweep and an inverter step
+   transient, each run once per registered backend by forcing the
+   engine's model override.  The piecewise backend prices the paper's
+   table-driven charge models through the Device_model indirection; the
+   vs backend prices the closed-form virtual-source evaluation.  `main
+   models-json` emits the JSON artefact (committed as
+   results/BENCH_models.json). *)
+
+let models_backends = [ "piecewise"; "vs" ]
+
+let models_model_of backend =
+  match
+    Device_model.of_card ~backend ~polarity:Device_model.N_type
+      ~number:float_of_string []
+  with
+  | Ok m -> m
+  | Error msg -> failwith ("models bench: " ^ backend ^ ": " ^ msg)
+
+let models_bias_grid =
+  List.concat_map
+    (fun vgs ->
+      List.map (fun vds -> (vgs, vds)) [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6 ])
+    [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6 ]
+
+let models_group =
+  Test.make_grouped ~name:"models"
+    (List.map
+       (fun backend ->
+         let m = lazy (models_model_of backend) in
+         Test.make
+           ~name:(Printf.sprintf "ids_grid_%s" backend)
+           (stage_unit (fun () ->
+                let m = Lazy.force m in
+                List.fold_left
+                  (fun acc (vgs, vds) -> acc +. Device_model.ids m ~vgs ~vds)
+                  0.0 models_bias_grid)))
+       models_backends)
+
+let models_dc_deck =
+  "models bench VTC\nVDD vdd 0 0.6\nVIN in 0 0\nMP out in vdd PCNFET\nMN out \
+   in 0 CNFET\n.dc VIN 0 0.6 0.005\n.print v(out) id(MN)\n.end"
+
+let models_tran_deck =
+  "models bench step\nVDD vdd 0 0.6\nVIN in 0 PULSE(0 0.6 1n 0.2n 0.2n 2n \
+   5n)\nMP out in vdd PCNFET l=100\nMN out in 0 CNFET l=100\nCL out 0 1f\n\
+   .tran 0.05n 5n\n.print v(out)\n.end"
+
+let models_json ~repeats =
+  let run_deck backend text =
+    let deck = Cnt_spice.Parser.parse text in
+    let config = Cnt_spice.Engine.config ~model:backend () in
+    match Cnt_spice.Engine.run_deck_result ~config deck with
+    | Ok tables -> tables
+    | Error e -> failwith ("models bench: " ^ Cnt_spice.Diag.error_message e)
+  in
+  let best f =
+    let best = ref infinity and out = ref None in
+    for k = 1 to 1 + repeats do
+      (* first run warms the card memo and compile caches, discarded *)
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if k > 1 && dt < !best then best := dt;
+      if Option.is_none !out then out := Some r
+    done;
+    (!best, Option.get !out)
+  in
+  let eval_grid m =
+    List.fold_left
+      (fun acc (vgs, vds) -> acc +. Device_model.ids m ~vgs ~vds)
+      0.0 models_bias_grid
+  in
+  let backend_json backend =
+    let m = models_model_of backend in
+    let evals_per_round = List.length models_bias_grid in
+    let rounds = 200 in
+    let grid_s, _ =
+      best (fun () ->
+          let acc = ref 0.0 in
+          for _ = 1 to rounds do
+            acc := !acc +. eval_grid m
+          done;
+          !acc)
+    in
+    let dc_s, dc_tables = best (fun () -> run_deck backend models_dc_deck) in
+    let tran_s, tran_tables =
+      best (fun () -> run_deck backend models_tran_deck)
+    in
+    let stats tables =
+      List.fold_left
+        (fun (iters, evals) (t : Cnt_spice.Engine.table) ->
+          ( iters + t.Cnt_spice.Engine.stats.Cnt_spice.Mna.newton_iterations,
+            evals + t.Cnt_spice.Engine.stats.Cnt_spice.Mna.device_evals ))
+        (0, 0) tables
+    in
+    let dc_iters, dc_evals = stats dc_tables in
+    let tran_iters, tran_evals = stats tran_tables in
+    Printf.sprintf
+      "  \"%s\": {\"ids_eval_per_s\": %.6g, \"dc_vtc_s\": %.6g, \
+       \"dc_newton_iterations\": %d, \"dc_device_evals\": %d, \"tran_s\": \
+       %.6g, \"tran_newton_iterations\": %d, \"tran_device_evals\": %d}"
+      backend
+      (float_of_int (rounds * evals_per_round) /. grid_s)
+      dc_s dc_iters dc_evals tran_s tran_iters tran_evals
+  in
+  let rows = List.map backend_json models_backends in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"benchmark\": \"device_model_backends\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"repeats\": %d,\n  \"time_metric\": \
+                     \"best_wall_clock_s\",\n" repeats);
+  Buffer.add_string buf
+    "  \"note\": \"per-backend cost through the Device_model registry: a \
+     49-point scalar ids grid, the inverter VTC DC sweep (121 points) and \
+     the inverter step transient (100 steps), each forced onto the backend \
+     via the engine model override\",\n";
+  Buffer.add_string buf (String.concat ",\n" rows);
+  Buffer.add_string buf "\n}\n";
+  print_string (Buffer.contents buf)
+
 let all_tests =
   Test.make_grouped ~name:"cntsim"
     [
       table1; table2; table3; table4; table5; fig23; fig45; fig69; fig1011;
       ablation; spice_group; scaling_group; obs_overhead_group; parallel_group;
-      convergence_group; cache_group; assembly_group;
+      convergence_group; cache_group; assembly_group; models_group;
     ]
 
 let benchmark () =
@@ -1180,6 +1305,11 @@ let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "server-json" then begin
     let smoke = Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke" in
     server_json ~requests:(if smoke then 16 else 200);
+    exit 0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "models-json" then begin
+    let smoke = Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke" in
+    models_json ~repeats:(if smoke then 1 else 5);
     exit 0
   end;
   List.iter

@@ -128,17 +128,23 @@ let deadline_arg =
     & opt (some float) None
     & info [ "deadline" ] ~docv:"SECONDS" ~doc)
 
+let model_arg =
+  let doc =
+    "Force every CNFET of the deck onto the named device-model backend \
+     before analysis ($(b,piecewise), $(b,vs), or any registered backend).  \
+     Naming the backend a device already uses is bitwise free; the default \
+     leaves each device on its deck-declared backend.  See docs/MODELS.md."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "model" ] ~docv:"BACKEND" ~doc ~env:(Cmd.Env.info "CNT_MODEL"))
+
 let make solver ordering assembly jobs gmin tol max_iter no_homotopy
-    gmin_start gmin_steps source_steps cache deadline =
-  {
-    Cnt_spice.Engine.backend = solver;
-    ordering;
-    assembly;
-    jobs;
-    gmin;
-    tol;
-    max_iter;
-    homotopy =
+    gmin_start gmin_steps source_steps cache deadline model =
+  Cnt_spice.Engine.config ~backend:solver ?ordering ?assembly ?jobs ~gmin ~tol
+    ~max_iter
+    ~homotopy:
       (if no_homotopy then Cnt_spice.Homotopy.plain_only
        else
          {
@@ -146,13 +152,19 @@ let make solver ordering assembly jobs gmin tol max_iter no_homotopy
            gmin_start;
            gmin_steps;
            source_steps;
-         });
-    cache;
-    deadline;
-  }
+         })
+    ?cache ?deadline ?model ()
 
-let term =
+let term_with model_term =
   Term.(
     const make $ solver_arg $ ordering_arg $ assembly_arg $ Cli_jobs.arg
     $ gmin_arg $ tol_arg $ max_iter_arg $ no_homotopy_arg $ gmin_start_arg
-    $ gmin_steps_arg $ source_steps_arg $ cache_arg $ deadline_arg)
+    $ gmin_steps_arg $ source_steps_arg $ cache_arg $ deadline_arg
+    $ model_term)
+
+let term = term_with model_arg
+
+(* For tools whose [--model] means something else (cnt_char picks the
+   characterisation model): the same knobs without the device-model
+   override flag. *)
+let term_no_model = term_with (Term.const None)

@@ -202,6 +202,6 @@ let cmd =
       const run $ which_arg $ temp_arg $ fermi_arg $ diameter_arg $ tox_arg
       $ vgs_arg $ vds_max_arg $ points_arg $ format_arg $ optimise_arg
       $ compare_arg $ profile_arg $ Cnt_cli.Cli_obs.term
-      $ Cnt_cli.Cli_config.term)
+      $ Cnt_cli.Cli_config.term_no_model)
 
 let () = exit (Cmd.eval' cmd)

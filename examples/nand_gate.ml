@@ -31,10 +31,11 @@ let () =
     (fun (a, b) ->
       let va = if a then vdd else 0.0 and vb = if b then vdd else 0.0 in
       let deck = Parser.parse (netlist va vb) in
-      match Engine.run_deck deck with
-      | [ t ] ->
+      match Engine.run_deck_result deck with
+      | Ok [ t ] ->
           let vout = t.Engine.rows.(0).(0) in
           let logic = if vout > vdd /. 2.0 then "1" else "0" in
           Printf.printf "%6b %6b %10.4f %8s\n" a b vout logic
-      | _ -> failwith "expected exactly one analysis")
+      | Ok _ -> failwith "expected exactly one analysis"
+      | Error e -> failwith (Diag.error_message e))
     [ (false, false); (false, true); (true, false); (true, true) ]

@@ -28,8 +28,8 @@ CQB qb 0 2f
 
 let () =
   let deck = Parser.parse netlist in
-  match Engine.run_deck deck with
-  | [ t ] ->
+  match Engine.run_deck_result deck with
+  | Ok [ t ] ->
       let col name =
         let rec find i =
           if i >= Array.length t.Engine.columns then failwith ("no column " ^ name)
@@ -61,4 +61,5 @@ let () =
       if q_set > 0.45 && q_reset < 0.15 then
         print_endline "  latch stores and flips correctly."
       else print_endline "  WARNING: unexpected latch behaviour!"
-  | _ -> failwith "expected exactly one transient table"
+  | Ok _ -> failwith "expected exactly one transient table"
+  | Error e -> failwith (Diag.error_message e)

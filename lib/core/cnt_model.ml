@@ -27,10 +27,32 @@ type t = {
   solver : Scv_solver.t;
   kt_ev : float;
   current_scale : float; (* 2 q k T / (pi hbar), Amperes *)
+  identity : string;
   mutable cache : Eval_cache.store;
       (* per-slot memo of (V_SC, I_DS) solves; disabled unless the
          ambient Eval_cache default or set_cache says otherwise *)
 }
+
+(* Canonical identity of a fitted model: polarity, the full device
+   parameter set, and the fitted boundary offsets/degrees (which also
+   separate Model 1 from Model 2 and optimised from stock boundaries).
+   Floats print as hex so distinct parameter sets can never collide
+   through rounding.  This string keys manifests, eval caches and the
+   server-side deck caches — anything where two different models must
+   never alias. *)
+let identity_of ~polarity ~(device : Device.t) ~(spec : Charge_fit.spec) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (match polarity with N_type -> "pcm|n" | P_type -> "pcm|p");
+  Printf.bprintf buf "|d=%h|tox=%h|kap=%h|T=%h|ef=%h|ag=%h|ad=%h|sb=%d"
+    device.Device.diameter device.Device.oxide_thickness
+    device.Device.dielectric device.Device.temp device.Device.fermi
+    device.Device.alpha_g device.Device.alpha_d device.Device.subbands;
+  Buffer.add_string buf "|off=";
+  Array.iter (fun o -> Printf.bprintf buf "%h," o) spec.Charge_fit.offsets;
+  Buffer.add_string buf "|deg=";
+  Array.iter (fun d -> Printf.bprintf buf "%d," d) spec.Charge_fit.degrees;
+  Buffer.contents buf
 
 let make ?(polarity = N_type) ?(spec = Charge_fit.model2_spec)
     ?(optimise = false) ?theory device =
@@ -48,6 +70,7 @@ let make ?(polarity = N_type) ?(spec = Charge_fit.model2_spec)
     Scv_solver.create ~qs:fit.Charge_fit.approx ~c_sigma:(Device.c_sigma device)
   in
   let temp = device.Device.temp in
+  let identity = identity_of ~polarity ~device ~spec in
   {
     device;
     polarity;
@@ -58,7 +81,8 @@ let make ?(polarity = N_type) ?(spec = Charge_fit.model2_spec)
     current_scale =
       2.0 *. Constants.elementary_charge *. Constants.thermal_energy temp
       /. (Float.pi *. Constants.hbar);
-    cache = Eval_cache.create (Eval_cache.default_config ());
+    identity;
+    cache = Eval_cache.create ~identity (Eval_cache.default_config ());
   }
 
 (* The paper's Model 1 (three pieces) on a device (default: the FETToy
@@ -88,6 +112,7 @@ let of_parts ?(polarity = N_type) ?(charge_rms = nan) ~device ~approx () =
   in
   let solver = Scv_solver.create ~qs:approx ~c_sigma:(Device.c_sigma device) in
   let temp = device.Device.temp in
+  let identity = identity_of ~polarity ~device ~spec in
   {
     device;
     polarity;
@@ -98,7 +123,8 @@ let of_parts ?(polarity = N_type) ?(charge_rms = nan) ~device ~approx () =
     current_scale =
       2.0 *. Constants.elementary_charge *. Constants.thermal_energy temp
       /. (Float.pi *. Constants.hbar);
-    cache = Eval_cache.create (Eval_cache.default_config ());
+    identity;
+    cache = Eval_cache.create ~identity (Eval_cache.default_config ());
   }
 
 let model1 ?polarity ?optimise ?(device = Device.default) () =
@@ -111,11 +137,12 @@ let model2 ?polarity ?optimise ?(device = Device.default) () =
 let device t = t.device
 let polarity t = t.polarity
 let spec t = t.spec
+let identity t = t.identity
 let charge_approx t = t.fit.Charge_fit.approx
 let charge_rms t = t.fit.Charge_fit.charge_rms
 let solver t = t.solver
 
-let set_cache t cfg = t.cache <- Eval_cache.create cfg
+let set_cache t cfg = t.cache <- Eval_cache.create ~identity:t.identity cfg
 let cache_config t = Eval_cache.config t.cache
 let cache_stats t = Eval_cache.stats t.cache
 

@@ -45,6 +45,12 @@ val device : t -> Device.t
 val polarity : t -> polarity
 val spec : t -> Charge_fit.spec
 
+val identity : t -> string
+(** Canonical identity string: polarity, full device parameter set and
+    the fitted boundary offsets/degrees, floats in hex.  Two models
+    with the same identity are interchangeable; anything keyed on a
+    model (eval caches, manifests, server deck caches) must use it. *)
+
 val charge_approx : t -> Piecewise.t
 (** The fitted [Q_S(V_SC)] curve. *)
 

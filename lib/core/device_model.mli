@@ -1,0 +1,162 @@
+(** Pluggable device-model tier: the capability record every CNFET
+    backend exposes to the circuit layer, plus the registry that names
+    backends for deck cards ([model=...]), run overrides
+    ([--model] / [CNT_MODEL]) and per-request server config.
+
+    The MNA compiler, the batched gather/eval/scatter assembly, the
+    eval-cache plumbing and the manifest/export layers consume only
+    this interface; concrete physics ({!Cnt_model}, {!Vs_model}) plugs
+    in through {!register}.  Two backends ship in-tree: ["piecewise"]
+    (the paper's Model 1/Model 2, the reference backend — bitwise
+    identical through this interface to the direct calls it replaced)
+    and ["vs"] (the virtual-source ballistic model of Lee et al.).
+    See [docs/MODELS.md] for the contract and a walkthrough of adding a
+    backend. *)
+
+open Cnt_physics
+
+type polarity = Cnt_model.polarity =
+  | N_type
+  | P_type
+
+type vec = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type stencil =
+  fault_i0:bool ->
+  vgs:float ->
+  vds:float ->
+  i0:vec ->
+  gm:vec ->
+  gds:vec ->
+  k:int ->
+  unit
+(** One workspace-backed MNA stencil evaluation: writes slot [k] of the
+    three output columns with the bias-point current and the
+    central-difference [gm]/[gds].  Must be {e bitwise-equal} to the
+    corresponding scalar {!ids}/{!gm}/{!gds} calls under any cache
+    configuration.  [fault_i0] makes the bias-point current NaN without
+    evaluating the model there (the scalar assembly's [Fault.Nan_eval]
+    site); the derivative points still evaluate.  A stencil closure
+    owns its scratch state: keep one per device per cloned system,
+    never share across concurrently solving domains. *)
+
+type t
+(** A circuit-ready device model. *)
+
+val backend : t -> string
+(** Registry name of the backend this model came from. *)
+
+val identity : t -> string
+(** Canonical identity string (starts with a backend tag, floats in
+    hex).  Everything keyed on a model — eval caches, manifests, the
+    server deck caches — must use it; equal identity means
+    interchangeable models. *)
+
+val polarity : t -> polarity
+val device : t -> Device.t
+
+val card : t -> (string * string) list
+(** The canonical resolved card attributes (including ["model"]), in
+    plain float syntax.  {!remodel} re-parses these under another
+    backend; backends ignore keys they don't know. *)
+
+val ids : t -> vgs:float -> vds:float -> float
+(** Drain current, A.  Negative for p-type devices under positive
+    bias. *)
+
+val gm : t -> vgs:float -> vds:float -> float
+val gds : t -> vgs:float -> vds:float -> float
+
+val charges : t -> vgs:float -> vds:float -> float * float * float
+(** [(v_sc, q_s, q_d)]: backend-defined bias-point charge summary
+    (piecewise: self-consistent voltage and mobile charges in C/m). *)
+
+val stencil : t -> stencil
+(** A fresh stencil closure with its own workspace. *)
+
+val intrinsic_caps : t -> length:float -> (float * float) option
+(** Meyer-style [(c_gs, c_gd)] intrinsic terminal capacitances for a
+    tube of [length] metres; [None] when [length <= 0]. *)
+
+val set_cache : t -> Eval_cache.config -> unit
+(** Replace the model's eval cache (fresh store, salted with the
+    model's identity). *)
+
+val cache_config : t -> Eval_cache.config
+val cache_stats : t -> Eval_cache.stats
+
+val as_piecewise : t -> Cnt_model.t option
+(** The underlying piecewise model, for piecewise-only consumers
+    (model export, RMS oracles).  [None] for other backends. *)
+
+val pp : t -> Format.formatter -> unit
+
+(** {1 Registry} *)
+
+type backend_info = {
+  name : string;  (** registry name, used in [model=] / [--model] *)
+  doc : string;
+  params : (string * string) list;  (** card attribute schema: key, doc *)
+}
+
+val register :
+  backend_info ->
+  (polarity:polarity ->
+  number:(string -> float) ->
+  (string * string) list ->
+  (t, string) result) ->
+  unit
+(** Register a backend.  The builder receives the card's key=value
+    attributes and a SPICE number parser (which may raise on malformed
+    input); it must resolve defaults, memoise equal cards to the
+    physically same [t] (see {!of_card}), and return [Error] for
+    invalid parameters.  Raises [Invalid_argument] on a duplicate
+    name. *)
+
+val backends : unit -> backend_info list
+(** Registered backends, in registration order. *)
+
+val find : string -> backend_info option
+val backend_names : unit -> string
+(** Comma-separated registered names, for error messages. *)
+
+val of_card :
+  ?backend:string ->
+  polarity:polarity ->
+  number:(string -> float) ->
+  (string * string) list ->
+  (t, string) result
+(** Build (or fetch the memoised) model for a device card.  The
+    backend is [?backend] when given, else the card's [model=]
+    attribute (["1"]/["2"] select the piecewise backend for deck
+    compatibility), else ["piecewise"].  Construction is memoised on
+    the canonical card, so equal cards share one physical model. *)
+
+val remodel : t -> backend:string -> (t, string) result
+(** The same device card rebuilt under another backend (identity when
+    the backend already matches).  Backend-specific attributes the
+    target doesn't know are ignored. *)
+
+val of_piecewise : ?card:(string * string) list -> Cnt_model.t -> t
+(** Wrap a concrete piecewise model (programmatic construction,
+    {!Model_io} files).  Every evaluation delegates 1:1, so behaviour
+    is bitwise-identical to calling {!Cnt_model} directly.  Without
+    [card], a card is synthesised from the device geometry — enough to
+    {!remodel} onto another backend, but remodelling {e back} to
+    piecewise then yields a stock Model-2 fit, not the original
+    spec. *)
+
+val of_vs : ?card:(string * string) list -> Vs_model.t -> t
+(** Wrap a concrete virtual-source model. *)
+
+(** {1 Run-level override}
+
+    The [--model]/[CNT_MODEL] override forces every CNFET of a deck
+    onto one backend before analysis.  An empty [CNT_MODEL] counts as
+    unset so test harnesses can neutralise the variable. *)
+
+val default_override : unit -> string option
+(** The ambient backend override: the last {!set_default_override} if
+    any, else [CNT_MODEL] (read once). *)
+
+val set_default_override : string option -> unit

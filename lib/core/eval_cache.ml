@@ -84,10 +84,24 @@ type stats = {
   evictions : int;
 }
 
+(* FNV-1a over the owner's identity string: a stable per-model salt
+   folded into the line hash so two stores belonging to different
+   device models never agree on line geometry, even if their key bit
+   patterns collide.  With quantum = 0 values are exact-key replays and
+   with quantum > 0 they are pure functions of the snapped bias, so the
+   salt can only change eviction patterns, never results. *)
+let identity_seed = function
+  | None -> 0
+  | Some s ->
+      let h = ref 0x4BF29CE484222325 (* FNV offset basis, top bit dropped *) in
+      String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001B3) s;
+      !h
+
 (* One slot's direct-mapped cache.  [occupied] is a byte per line so a
    fresh cache needs no key sentinel. *)
 type slot_cache = {
   mask : int;
+  line_seed : int;
   occupied : Bytes.t;
   key_vgs : float array;
   key_vds : float array;
@@ -104,10 +118,12 @@ let max_slots = 64
 
 type store = {
   cfg : config;
+  seed : int;
   slots : slot_cache option array;
 }
 
-let create cfg = { cfg; slots = Array.make max_slots None }
+let create ?identity cfg =
+  { cfg; seed = identity_seed identity; slots = Array.make max_slots None }
 let config t = t.cfg
 let enabled t = t.cfg.size > 0
 
@@ -119,10 +135,11 @@ let round_pow2 n =
   let rec go p = if p >= n then p else go (p * 2) in
   go 1
 
-let fresh_slot_cache cfg =
+let fresh_slot_cache cfg seed =
   let cap = round_pow2 (max 1 cfg.size) in
   {
     mask = cap - 1;
+    line_seed = seed;
     occupied = Bytes.make cap '\000';
     key_vgs = Array.make cap 0.0;
     key_vds = Array.make cap 0.0;
@@ -137,7 +154,7 @@ let slot_cache t ix =
   match t.slots.(ix) with
   | Some c -> c
   | None ->
-      let c = fresh_slot_cache t.cfg in
+      let c = fresh_slot_cache t.cfg t.seed in
       t.slots.(ix) <- Some c;
       c
 
@@ -156,7 +173,8 @@ let mix h =
 let float_bits v = Int64.to_int (Int64.bits_of_float v)
 
 let line_index cache vgs vds =
-  mix (float_bits vgs lxor mix (float_bits vds)) land cache.mask
+  mix (float_bits vgs lxor mix (float_bits vds) lxor cache.line_seed)
+  land cache.mask
 
 let find_or_add t ~vgs ~vds compute =
   if t.cfg.size <= 0 then compute ~vgs ~vds

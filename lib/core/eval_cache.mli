@@ -53,8 +53,13 @@ type stats = {
 
 type store
 
-val create : config -> store
-(** A fresh store.  Capacity is rounded up to a power of two. *)
+val create : ?identity:string -> config -> store
+(** A fresh store.  Capacity is rounded up to a power of two.
+    [identity] — the owning device model's identity string — is folded
+    into the line-index hash as a stable salt so stores of distinct
+    models never share line geometry.  It cannot change values: with
+    [quantum = 0] a hit replays an exact-key solve, and with
+    [quantum > 0] values are pure functions of the snapped bias. *)
 
 val config : store -> config
 val enabled : store -> bool

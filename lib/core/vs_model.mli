@@ -1,0 +1,70 @@
+(** Virtual-source ballistic CNFET compact model (Lee et al.) — the
+    first non-piecewise backend of the {!Device_model} registry.
+
+    [I_DS = Q_ix0 v_x0 F_sat] with a softplus virtual-source charge,
+    DIBL-shifted threshold and an empirical saturation function;
+    construction is closed-form from the device geometry (no fitting).
+    Reverse operation ([V_DS < 0]) is the source/drain swap
+    [I(V_GS, V_DS) = -I(V_GD, -V_DS)], so the current is continuous and
+    monotone in [V_DS]; p-type devices are the electron-hole mirror as
+    in {!Cnt_model}. *)
+
+open Cnt_physics
+
+type polarity = Cnt_model.polarity =
+  | N_type
+  | P_type
+
+type params = {
+  vt0 : float;  (** threshold voltage at [V_DS = 0], V *)
+  dibl : float;  (** drain-induced barrier lowering, V/V *)
+  n_ss : float;  (** subthreshold ideality factor *)
+  vxo : float;  (** virtual-source injection velocity, m/s *)
+  beta : float;  (** saturation transition exponent *)
+  vdsat : float;  (** saturation voltage scale, V *)
+  cinv : float;  (** gate-to-channel inversion capacitance, F/m *)
+}
+
+type t
+
+val make :
+  ?polarity:polarity ->
+  ?vt0:float ->
+  ?dibl:float ->
+  ?n_ss:float ->
+  ?vxo:float ->
+  ?beta:float ->
+  ?vdsat:float ->
+  ?cinv:float ->
+  Device.t ->
+  t
+(** Build a model on a device.  Defaults: [vt0 = 0.3] V,
+    [dibl = 0.05], [n_ss = 1.1], [vxo = 4e5] m/s, [beta = 1.8],
+    [vdsat = 3 n phi_t], [cinv = Device.c_gate].  Raises
+    [Invalid_argument] on non-positive [n]/[vxo]/[beta]/[vdsat]/[cinv]. *)
+
+val device : t -> Device.t
+val polarity : t -> polarity
+val params : t -> params
+
+val identity : t -> string
+(** Canonical identity string ("vs|..."), hex floats; see
+    {!Cnt_model.identity} for the contract. *)
+
+val set_cache : t -> Eval_cache.config -> unit
+val cache_config : t -> Eval_cache.config
+val cache_stats : t -> Eval_cache.stats
+
+val ids : t -> vgs:float -> vds:float -> float
+(** Drain current (A).  Negative for p-type devices under positive
+    bias, matching {!Cnt_model.ids}. *)
+
+val charges : t -> vgs:float -> vds:float -> float * float * float
+(** [(0, q_s, q_d)]: the virtual-source charge (C/m) at the bias point
+    and at the source/drain-swapped point.  The first slot is 0 — this
+    model has no self-consistent voltage. *)
+
+val gm : ?dv:float -> t -> vgs:float -> vds:float -> float
+val gds : ?dv:float -> t -> vgs:float -> vds:float -> float
+
+val pp : Format.formatter -> t -> unit

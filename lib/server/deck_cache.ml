@@ -1,8 +1,15 @@
 (* The daemon's compiled-deck cache: one canonical {!Parser.deck} per
-   deck-content MD5.
+   (deck-content MD5, device-model override) pair.
 
-   Keeping a single canonical deck value per content hash is what makes
-   the two pool-wide cache layers work across requests:
+   A request's [model] override rewrites every CNFET of the deck, so
+   the same deck text under different overrides is a different circuit
+   — caching them under one entry would alias models across requests.
+   Remodelling happens here, once at insert ({!Circuit.remodel}); the
+   engine's own override application then finds every device already on
+   the right backend and leaves the circuit physically unchanged.
+
+   Keeping a single canonical deck value per key is what makes the two
+   pool-wide cache layers work across requests:
 
    - {!Cnt_spice.Mna}'s compile cache is keyed by the {e physical}
      identity of the circuit value, so only repeated runs of the same
@@ -20,6 +27,7 @@ open Cnt_spice
 
 type entry = {
   md5 : string;
+  model : string option;  (* the override this deck was staged under *)
   deck : Parser.deck;
   mutable runs : int;  (* requests served from this entry, hit or miss *)
 }
@@ -49,15 +57,15 @@ let apply_eval_cache t deck =
       List.iter
         (function
           | Circuit.Cnfet { params; _ } ->
-              Cnt_core.Cnt_model.set_cache params.Circuit.model cfg
+              Cnt_core.Device_model.set_cache params.Circuit.model cfg
           | _ -> ())
         (Circuit.elements deck.Parser.circuit)
 
-let find_or_parse t text =
+let find_or_parse ?model t text =
   let md5 = Digest.to_hex (Digest.string text) in
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
-  match List.find_opt (fun e -> e.md5 = md5) t.entries with
+  match List.find_opt (fun e -> e.md5 = md5 && e.model = model) t.entries with
   | Some e ->
       t.hits <- t.hits + 1;
       e.runs <- e.runs + 1;
@@ -65,13 +73,24 @@ let find_or_parse t text =
   | None -> (
       match Parser.parse text with
       | exception Parser.Parse_error msg -> Error msg
-      | deck ->
-          t.misses <- t.misses + 1;
-          apply_eval_cache t deck;
-          let e = { md5; deck; runs = 1 } in
-          t.entries <-
-            e :: List.filteri (fun i _ -> i < t.max_entries - 1) t.entries;
-          Ok (e, false))
+      | deck -> (
+          let remodelled =
+            match model with
+            | None -> Ok deck
+            | Some backend -> (
+                match Circuit.remodel deck.Parser.circuit ~backend with
+                | circuit -> Ok { deck with Parser.circuit }
+                | exception Circuit.Bad_circuit msg -> Error msg)
+          in
+          match remodelled with
+          | Error _ as e -> e
+          | Ok deck ->
+              t.misses <- t.misses + 1;
+              apply_eval_cache t deck;
+              let e = { md5; model; deck; runs = 1 } in
+              t.entries <-
+                e :: List.filteri (fun i _ -> i < t.max_entries - 1) t.entries;
+              Ok (e, false)))
 
 let stats t =
   Mutex.lock t.mutex;

@@ -1,16 +1,20 @@
 (** The daemon's deck cache: one canonical parsed {!Cnt_spice.Parser}
-    deck per content MD5.
+    deck per (content MD5, device-model override) pair.
 
     The canonical value is the anchor for cross-request cache sharing:
     {!Cnt_spice.Mna}'s compile cache keys on the circuit value's
     physical identity, and the per-CNFET bias-point evaluation caches
     live on the model records inside it — so every request whose deck
     text hashes to a cached entry reuses both the symbolic compilation
-    and the warm evaluation caches.  Thread-safe; FIFO eviction; parse
-    failures are never cached. *)
+    and the warm evaluation caches.  A request's [model] override
+    rewrites every CNFET, so overrides are part of the key and the
+    remodel runs once, at insert — two requests differing only in model
+    never share an entry.  Thread-safe; FIFO eviction; parse failures
+    are never cached. *)
 
 type entry = {
   md5 : string;  (** hex MD5 of the exact deck text *)
+  model : string option;  (** the override this deck was staged under *)
   deck : Cnt_spice.Parser.deck;
   mutable runs : int;  (** requests served through this entry *)
 }
@@ -27,9 +31,13 @@ val create :
     enters the cache — the daemon then runs the engine with
     [cache = None] so the stores stay warm across requests. *)
 
-val find_or_parse : t -> string -> (entry * bool, string) result
-(** [(entry, was_hit)] for the deck text, parsing and inserting on
-    miss; [Error message] when the text does not parse. *)
+val find_or_parse : ?model:string -> t -> string -> (entry * bool, string) result
+(** [(entry, was_hit)] for the deck text under the given model
+    override, parsing, remodelling ({!Cnt_spice.Circuit.remodel}) and
+    inserting on miss; [Error message] when the text does not parse or
+    a device card is rejected by the override's backend.  Callers must
+    validate the backend name first — an unknown override over a deck
+    with no CNFETs is not detected here. *)
 
 val stats : t -> int * int * int
 (** [(live_entries, hits, misses)]. *)

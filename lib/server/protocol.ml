@@ -76,6 +76,7 @@ let config_to_json (c : Engine.config) =
           (fun cc -> Json.Str (Cnt_core.Eval_cache.config_to_string cc))
           c.cache );
       ("deadline_s", opt (fun s -> Json.Num s) c.deadline);
+      ("model", opt (fun m -> Json.Str m) c.model);
     ]
 
 exception Bad of string
@@ -144,6 +145,10 @@ let config_of_json ~(base : Engine.config) j =
           get "deadline_s"
             (fun v -> Option.map Option.some (Json.to_float v))
             j base.deadline;
+        model =
+          get "model"
+            (fun v -> Option.map Option.some (Json.to_str v))
+            j base.model;
       }
   with Bad msg -> Error msg
 

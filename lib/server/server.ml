@@ -231,21 +231,40 @@ let handle_run t conn ~id ~deck ~config_json ~progress =
   match deck_text with
   | Error err -> send_engine_error conn ~id err
   | Ok text -> (
-      match Deck_cache.find_or_parse t.decks text with
-      | Error msg -> send_engine_error conn ~id (Diag.Parse msg)
-      | Ok (entry, deck_hit) -> (
-          let config =
-            match config_json with
-            | None -> Ok t.engine_base
-            | Some j -> Protocol.config_of_json ~base:t.engine_base j
+      (* config resolves before the deck lookup: the model override is
+         part of the deck-cache key *)
+      let config =
+        match config_json with
+        | None -> Ok t.engine_base
+        | Some j -> Protocol.config_of_json ~base:t.engine_base j
+      in
+      match config with
+      | Error msg ->
+          send_line conn
+            (Protocol.request_error_line ~id
+               { code = "bad_request"; message = "bad config: " ^ msg })
+      | Ok config -> (
+          let config = clamp_jobs t config in
+          let model = Engine.resolved_model config in
+          let model_known =
+            match model with
+            | None -> Ok ()
+            | Some b -> (
+                match Cnt_core.Device_model.find b with
+                | Some _ -> Ok ()
+                | None ->
+                    Error
+                      (Diag.Bad_deck
+                         (Printf.sprintf
+                            "unknown device-model backend %S (known: %s)" b
+                            (Cnt_core.Device_model.backend_names ()))))
           in
-          match config with
-          | Error msg ->
-              send_line conn
-                (Protocol.request_error_line ~id
-                   { code = "bad_request"; message = "bad config: " ^ msg })
-          | Ok config ->
-              let config = clamp_jobs t config in
+          match model_known with
+          | Error err -> send_engine_error conn ~id err
+          | Ok () -> (
+          match Deck_cache.find_or_parse ?model t.decks text with
+          | Error msg -> send_engine_error conn ~id (Diag.Parse msg)
+          | Ok (entry, deck_hit) ->
               send_line conn
                 (Protocol.accepted_line ~id ~title:entry.Deck_cache.deck.title);
               locked t.state_mutex (fun () -> conn.busy <- true);
@@ -277,6 +296,10 @@ let handle_run t conn ~id ~deck ~config_json ~progress =
                     server_info t
                       [
                         ("deck_md5", Json.Str entry.Deck_cache.md5);
+                        ( "model",
+                          match model with
+                          | None -> Json.Null
+                          | Some b -> Json.Str b );
                         ( "deck_cache",
                           Json.Str (if deck_hit then "hit" else "miss") );
                         ( "compile_cache",
@@ -291,7 +314,7 @@ let handle_run t conn ~id ~deck ~config_json ~progress =
               log t "request %s: %s deck=%s %.3fs" id
                 (match result with Ok _ -> "ok" | Error e -> Diag.error_kind e)
                 (String.sub entry.Deck_cache.md5 0 8)
-                run_s))
+                run_s)))
 
 let handle_request t conn line =
   match Protocol.parse_request line with

@@ -5,7 +5,7 @@
 exception Bad_circuit of string
 
 type cnfet_params = {
-  model : Cnt_core.Cnt_model.t;
+  model : Cnt_core.Device_model.t;
   length : float; (* tube length in metres; > 0 enables the intrinsic
                      terminal capacitances (per-unit-length device
                      capacitances times this length, Meyer-style
@@ -140,21 +140,40 @@ let vsource ?(ac = 0.0) name npos nneg wave =
 let vdc ?ac name npos nneg volts = vsource ?ac name npos nneg (Waveform.dc volts)
 let isource ?(ac = 0.0) name npos nneg wave = Isource { name; npos; nneg; wave; ac }
 
-let cnfet ?(length = 0.0) name ~drain ~gate ~source model =
+let cnfet_model ?(length = 0.0) name ~drain ~gate ~source model =
   if length < 0.0 then raise (Bad_circuit (name ^ ": negative tube length"));
   Cnfet { name; drain; gate; source; params = { model; length } }
 
+let cnfet ?length name ~drain ~gate ~source model =
+  cnfet_model ?length name ~drain ~gate ~source
+    (Cnt_core.Device_model.of_piecewise model)
+
 (* Meyer-style split of the per-unit-length electrostatic capacitances
    into two linear two-terminal capacitors.  Zero-length devices have
-   no intrinsic capacitance. *)
+   no intrinsic capacitance.  The split lives with the model backend —
+   the electrostatics come from the device geometry, so every backend
+   computes the same formula. *)
 let cnfet_intrinsic_caps params =
-  if params.length <= 0.0 then None
-  else begin
-    let device = Cnt_core.Cnt_model.device params.model in
-    let cg = Cnt_physics.Device.c_gate device in
-    let cd = Cnt_physics.Device.c_drain device in
-    let cs = Cnt_physics.Device.c_source device in
-    let cgs = ((0.5 *. cg) +. cs) *. params.length in
-    let cgd = ((0.5 *. cg) +. cd) *. params.length in
-    Some (cgs, cgd)
-  end
+  Cnt_core.Device_model.intrinsic_caps params.model ~length:params.length
+
+(* Rebuild every CNFET's model under [backend].  Physically unchanged
+   when nothing needs rebuilding, so compile caches keyed on the
+   circuit value stay hot and a matching override is bitwise free. *)
+let remodel t ~backend =
+  let changed = ref false in
+  let elements =
+    List.map
+      (function
+        | Cnfet ({ params; _ } as f) as e ->
+            if Cnt_core.Device_model.backend params.model = backend then e
+            else begin
+              match Cnt_core.Device_model.remodel params.model ~backend with
+              | Ok model ->
+                  changed := true;
+                  Cnfet { f with params = { params with model } }
+              | Error msg -> raise (Bad_circuit (f.name ^ ": " ^ msg))
+            end
+        | e -> e)
+      t.elements
+  in
+  if !changed then { elements } else t

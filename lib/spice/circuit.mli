@@ -4,7 +4,7 @@
 exception Bad_circuit of string
 
 type cnfet_params = {
-  model : Cnt_core.Cnt_model.t;
+  model : Cnt_core.Device_model.t;
   length : float;
       (** tube length in metres; > 0 enables intrinsic terminal
           capacitances *)
@@ -91,12 +91,32 @@ val cnfet :
   Cnt_core.Cnt_model.t ->
   element
 (** A three-terminal CNFET using a fitted piecewise model (n- or p-type
-    according to the model's polarity).  [?length] (metres, default 0)
-    scales the per-unit-length electrostatic capacitances into intrinsic
-    gate-source/gate-drain capacitors used by transient and AC
-    analyses. *)
+    according to the model's polarity), wrapped through
+    {!Cnt_core.Device_model.of_piecewise}.  [?length] (metres, default
+    0) scales the per-unit-length electrostatic capacitances into
+    intrinsic gate-source/gate-drain capacitors used by transient and
+    AC analyses. *)
+
+val cnfet_model :
+  ?length:float ->
+  string ->
+  drain:string ->
+  gate:string ->
+  source:string ->
+  Cnt_core.Device_model.t ->
+  element
+(** {!cnfet} for any registered device-model backend. *)
 
 val cnfet_intrinsic_caps : cnfet_params -> (float * float) option
 (** [(c_gs, c_gd)] in Farads for a device with positive length
     (Meyer-style split of the paper's terminal capacitances); [None]
     for zero-length devices. *)
+
+val remodel : t -> backend:string -> t
+(** The same netlist with every CNFET rebuilt from its device card
+    under the named backend ({!Cnt_core.Device_model.remodel}).
+    Returns the circuit {e physically unchanged} when every CNFET
+    already uses that backend — the [--model]/[CNT_MODEL] override is
+    then a no-op that keeps compile caches keyed on physical identity
+    hot.  Raises {!Bad_circuit} on an unknown backend or a card the
+    target backend rejects. *)

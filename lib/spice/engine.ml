@@ -29,6 +29,10 @@ type config = {
       (* None: leave each model's cache as constructed *)
   deadline : float option;
       (* wall-clock budget in seconds for the whole deck; None: none *)
+  model : string option;
+      (* force every CNFET of the deck onto this device-model backend
+         before analysis; None: Device_model.default_override ()
+         (CNT_MODEL), else leave each device's deck-declared backend *)
 }
 
 let default_config =
@@ -43,7 +47,37 @@ let default_config =
     homotopy = Homotopy.default;
     cache = None;
     deadline = None;
+    model = None;
   }
+
+(* The one way to build a config without spelling the whole record:
+   every knob defaults to its [default_config] value, so adding a field
+   never breaks builder call sites. *)
+let config ?backend ?ordering ?assembly ?jobs ?gmin ?tol ?max_iter ?homotopy
+    ?cache ?deadline ?model () =
+  {
+    backend = Option.value backend ~default:default_config.backend;
+    ordering;
+    assembly;
+    jobs;
+    gmin = Option.value gmin ~default:default_config.gmin;
+    tol = Option.value tol ~default:default_config.tol;
+    max_iter = Option.value max_iter ~default:default_config.max_iter;
+    homotopy = Option.value homotopy ~default:default_config.homotopy;
+    cache;
+    deadline;
+    model;
+  }
+
+(* The backend override that will actually apply: the config's [model]
+   when set, else the ambient CNT_MODEL default.  An empty string
+   counts as unset, matching {!Cnt_core.Device_model.default_override}
+   — a CLI picks an empty CNT_MODEL up through the flag's env
+   attachment, and it must still mean "no override". *)
+let resolved_model config =
+  match config.model with
+  | Some "" | None -> Cnt_core.Device_model.default_override ()
+  | Some _ as m -> m
 
 let default_prints circuit prints =
   if prints <> [] then prints
@@ -73,7 +107,7 @@ let device_current circuit compiled solution name =
   match Circuit.find circuit name with
   | Some (Circuit.Cnfet { drain; gate; source; params; _ }) ->
       let v n = Mna.voltage compiled solution n in
-      Cnt_core.Cnt_model.ids params.Circuit.model
+      Cnt_core.Device_model.ids params.Circuit.model
         ~vgs:(v gate -. v source)
         ~vds:(v drain -. v source)
   | Some _ ->
@@ -224,7 +258,7 @@ let apply_cache_config config circuit =
       List.iter
         (function
           | Circuit.Cnfet { params; _ } ->
-              Cnt_core.Cnt_model.set_cache params.Circuit.model cfg
+              Cnt_core.Device_model.set_cache params.Circuit.model cfg
           | _ -> ())
         (Circuit.elements circuit)
 
@@ -245,24 +279,46 @@ let with_deadline ~budget_s f =
   in
   Progress.with_sink (Progress.sink (fun _ev -> check ())) (fun () -> f check)
 
+(* Force the deck's CNFETs onto the resolved backend override.  An
+   override naming the backend every device already uses returns the
+   circuit physically unchanged ({!Circuit.remodel}), so compile and
+   deck caches keyed on physical identity stay hot and results are
+   bitwise those of the un-overridden run.  Unknown backends are
+   rejected here — a deck with no CNFETs would otherwise accept any
+   name silently. *)
+let apply_model_override config circuit =
+  match resolved_model config with
+  | None -> circuit
+  | Some backend -> (
+      match Cnt_core.Device_model.find backend with
+      | None ->
+          raise
+            (Dc.Analysis_error
+               (Printf.sprintf "unknown device-model backend %S (known: %s)"
+                  backend
+                  (Cnt_core.Device_model.backend_names ())))
+      | Some _ -> (
+          try Circuit.remodel circuit ~backend
+          with Circuit.Bad_circuit msg -> raise (Dc.Analysis_error msg)))
+
 (* Raising core shared by the result and shim entry points. *)
 let run_deck_exn ~config (deck : Parser.deck) =
-  apply_cache_config config deck.Parser.circuit;
+  let circuit = apply_model_override config deck.Parser.circuit in
+  apply_cache_config config circuit;
   let run check =
     List.map
       (fun analysis ->
         check ();
         match analysis with
-        | Parser.Op -> op_table ~config deck.Parser.circuit deck.Parser.prints
+        | Parser.Op -> op_table ~config circuit deck.Parser.prints
         | Parser.Dc_sweep { source; start; stop; step } ->
-            dc_table ~config deck.Parser.circuit deck.Parser.prints ~source
-              ~start ~stop ~step
+            dc_table ~config circuit deck.Parser.prints ~source ~start ~stop
+              ~step
         | Parser.Tran { tstep; tstop } ->
-            tran_table ~config deck.Parser.circuit deck.Parser.prints ~tstep
-              ~tstop
+            tran_table ~config circuit deck.Parser.prints ~tstep ~tstop
         | Parser.Ac_sweep { per_decade; fstart; fstop } ->
-            ac_table ~config deck.Parser.circuit deck.Parser.prints ~per_decade
-              ~fstart ~fstop)
+            ac_table ~config circuit deck.Parser.prints ~per_decade ~fstart
+              ~fstop)
       deck.Parser.analyses
   in
   match config.deadline with
@@ -367,6 +423,13 @@ let config_manifest (c : config) =
         match c.deadline with
         | None -> Manifest.Null
         | Some s -> Manifest.Float s );
+      ( "model",
+        (* the backend override as it will apply (config, else
+           CNT_MODEL); Null means every device keeps its deck-declared
+           backend *)
+        match resolved_model c with
+        | None -> Manifest.Null
+        | Some b -> Manifest.String b );
     ]
 
 (* One analysis result pinned by shape, solver stats and an MD5 of the

@@ -47,9 +47,44 @@ type config = {
           {!Diag.Deadline_exceeded} (exit 5).  Granularity is one
           progress tick, so a single solve that emits no ticks is only
           interrupted at its analysis boundary. *)
+  model : string option;
+      (** force every CNFET of the deck onto this device-model backend
+          ([--model], or the [model] field of a [cntd] request) before
+          any analysis runs, via {!Circuit.remodel}.  [None] falls back
+          to {!Cnt_core.Device_model.default_override} ([CNT_MODEL]);
+          when that is also unset each device keeps its deck-declared
+          backend.  Naming the backend a device already uses is a
+          physical no-op for that device, so a matching override is
+          bitwise-free; unknown backends and cards the target backend
+          rejects fail the run with {!Diag.Bad_deck}. *)
 }
 
 val default_config : config
+
+val config :
+  ?backend:Cnt_numerics.Linear_solver.backend ->
+  ?ordering:Cnt_numerics.Linear_solver.ordering ->
+  ?assembly:Mna.assembly ->
+  ?jobs:int ->
+  ?gmin:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?homotopy:Homotopy.policy ->
+  ?cache:Cnt_core.Eval_cache.config ->
+  ?deadline:float ->
+  ?model:string ->
+  unit ->
+  config
+(** Build a config; every omitted knob takes its {!default_config}
+    value.  Prefer this over literal record construction — new fields
+    never break builder call sites. *)
+
+val resolved_model : config -> string option
+(** The device-model backend override as it will apply: the config's
+    [model] when set, else {!Cnt_core.Device_model.default_override}
+    ([CNT_MODEL]); [None] means every device keeps its deck-declared
+    backend.  Callers that pre-stage decks against an override (the
+    [cntd] deck cache) key on this value. *)
 
 val run_deck_result :
   ?config:config -> Parser.deck -> (table list, Diag.error) result
@@ -68,10 +103,12 @@ val run_deck :
   ?jobs:int ->
   Parser.deck ->
   table list
+[@@deprecated "use run_deck_result (structured errors, full config)"]
 (** Raising shim over {!run_deck_result} with the historical
     signature: [backend]/[jobs] override {!default_config} and errors
     propagate as the underlying exceptions
-    ({!Diag.Convergence_failure}, [Analysis_error], ...). *)
+    ({!Diag.Convergence_failure}, [Analysis_error], ...).
+    @deprecated Use {!run_deck_result}. *)
 
 val pp_table : ?max_rows:int -> ?stats:bool -> Format.formatter -> table -> unit
 (** Pretty-print a table; [~stats:true] appends a solver-statistics

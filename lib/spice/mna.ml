@@ -50,9 +50,9 @@ let c_fill_applied = Obs.counter "ordering.fill_applied"
    (the historical path).  [Batched] lowers the circuit's CNFETs into a
    structure-of-arrays table at compile time and splits every refill
    into three passes — gather all bias points from the solution vector
-   into contiguous columns, evaluate them with the batched
-   plan-sharing kernel ({!Cnt_core.Cnt_model.eval_stencil}), scatter
-   the stamps back through the recorded slot program.  Both modes are
+   into contiguous columns, evaluate them through each device's
+   workspace-backed {!Cnt_core.Device_model.stencil}, scatter the
+   stamps back through the recorded slot program.  Both modes are
    the same floating-point program device for device, so all waveforms
    and tables are byte-identical; [Batched] exists purely to make the
    assembly phase cheap. *)
@@ -190,7 +190,7 @@ type device =
       d : int;
       g : int;
       s : int;
-      model : Cnt_core.Cnt_model.t;
+      model : Cnt_core.Device_model.t;
       cgs_i : int;
       cgd_i : int;
       ti : int; (* row in the CNFET device table, netlist order *)
@@ -207,15 +207,15 @@ type cnfet_table = {
   ct_d : int array; (* drain node index, -1 = ground *)
   ct_g : int array;
   ct_s : int array;
-  ct_models : Cnt_core.Cnt_model.t array;
-  ct_vgs : Cnt_core.Cnt_model.vec; (* gathered bias points *)
-  ct_vds : Cnt_core.Cnt_model.vec;
-  ct_i0 : Cnt_core.Cnt_model.vec; (* batched kernel outputs *)
-  ct_gm : Cnt_core.Cnt_model.vec;
-  ct_gds : Cnt_core.Cnt_model.vec;
-  (* per-device solver-plan workspaces; mutable scratch, never shared
-     between clones (clones may evaluate concurrently) *)
-  ct_ws : Cnt_core.Cnt_model.stencil_ws array;
+  ct_models : Cnt_core.Device_model.t array;
+  ct_vgs : Cnt_core.Device_model.vec; (* gathered bias points *)
+  ct_vds : Cnt_core.Device_model.vec;
+  ct_i0 : Cnt_core.Device_model.vec; (* batched kernel outputs *)
+  ct_gm : Cnt_core.Device_model.vec;
+  ct_gds : Cnt_core.Device_model.vec;
+  (* per-device workspace-backed stencil closures; mutable scratch,
+     never shared between clones (clones may evaluate concurrently) *)
+  ct_ws : Cnt_core.Device_model.stencil array;
 }
 
 let fvec n = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
@@ -395,10 +395,10 @@ let stamp_system ?table ~stats ~devices ~n_nodes ~add_j ~add_b ~eval_wave ~caps
             | None ->
                 let i0 =
                   if Fault.fires Fault.Nan_eval then Float.nan
-                  else Cnt_core.Cnt_model.ids model ~vgs ~vds
+                  else Cnt_core.Device_model.ids model ~vgs ~vds
                 in
-                let gm = Cnt_core.Cnt_model.gm model ~vgs ~vds in
-                let gds = Cnt_core.Cnt_model.gds model ~vgs ~vds in
+                let gm = Cnt_core.Device_model.gm model ~vgs ~vds in
+                let gds = Cnt_core.Device_model.gds model ~vgs ~vds in
                 (i0, gm, gds)
           in
           stats.device_evals <- stats.device_evals + 1;
@@ -563,7 +563,7 @@ let compile_uncached ?(backend = Linear_solver.Auto) ?ordering ?assembly
           ct_i0 = fvec nt;
           ct_gm = fvec nt;
           ct_gds = fvec nt;
-          ct_ws = Array.map Cnt_core.Cnt_model.stencil_ws ct_models;
+          ct_ws = Array.map Cnt_core.Device_model.stencil ct_models;
         }
     end
   in
@@ -624,7 +624,7 @@ let clone c =
             ct_i0 = fvec tb.ct_n;
             ct_gm = fvec tb.ct_n;
             ct_gds = fvec tb.ct_n;
-            ct_ws = Array.map Cnt_core.Cnt_model.stencil_ws tb.ct_models;
+            ct_ws = Array.map Cnt_core.Device_model.stencil tb.ct_models;
           })
         c.table;
   }
@@ -764,8 +764,7 @@ let refill c ~eval_wave ~caps ~inds ~gmin x =
       let span_e = Obs.start_span "assemble.batch_eval" in
       let fault_i0 = Fault.fires Fault.Nan_eval in
       for k = 0 to tb.ct_n - 1 do
-        Cnt_core.Cnt_model.eval_stencil ~ws:tb.ct_ws.(k) tb.ct_models.(k)
-          ~fault_i0
+        tb.ct_ws.(k) ~fault_i0
           ~vgs:(Bigarray.Array1.unsafe_get tb.ct_vgs k)
           ~vds:(Bigarray.Array1.unsafe_get tb.ct_vds k)
           ~i0:tb.ct_i0 ~gm:tb.ct_gm ~gds:tb.ct_gds ~k

@@ -53,8 +53,8 @@ val pp_stats : Format.formatter -> stats -> unit
     evaluates every device in place inside the stamping loop; [Batched]
     lowers the CNFETs into a structure-of-arrays table at compile time
     and refills in three passes (gather bias points, evaluate all
-    stencils through {!Cnt_core.Cnt_model.eval_stencil}, scatter stamps
-    through the recorded program).  Both modes run the same
+    stencils through each device's {!Cnt_core.Device_model.stencil},
+    scatter stamps through the recorded program).  Both modes run the same
     floating-point program device for device, so every waveform and
     table is byte-identical between them at any jobs count and cache
     setting (pinned by [test/test_assembly.ml]); [Batched] is the

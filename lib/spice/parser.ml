@@ -13,11 +13,14 @@
      Mname d g s CNFET  [key=value ...]   (n-type piecewise CNFET)
      Mname d g s PCNFET [key=value ...]   (p-type)
 
-   CNFET keys: model=1|2 (default 2), temp=K, ef=eV, d=nm (diameter),
-   tox=nm, kappa=, alphag=, alphad=, optimise=0|1, l=nm (tube length;
-   enables intrinsic terminal capacitances), file=path (load a
-   pre-fitted model card saved by Model_io instead of fitting; its
-   polarity must match the card kind).
+   CNFET keys: model=1|2|piecewise|vs (default 2 — 1/2/piecewise pick
+   the paper's piecewise backend, any other name a registered
+   Device_model backend), temp=K, ef=eV, d=nm (diameter), tox=nm,
+   kappa=, alphag=, alphad=, optimise=0|1, l=nm (tube length; enables
+   intrinsic terminal capacitances), file=path (load a pre-fitted
+   piecewise model card saved by Model_io instead of fitting; its
+   polarity must match the card kind), plus backend-specific keys
+   (vs: vt0, dibl, nss, vxo, beta, vdsat, cinv — see docs/MODELS.md).
 
    Directives: .op | .dc SRC start stop step | .tran tstep tstop
              | .ac dec n fstart fstop | .print v(node) i(vsrc) ... | .end
@@ -373,18 +376,22 @@ let attributes line tokens =
       | None -> fail line (Printf.sprintf "expected key=value, got %S" tok))
     tokens
 
-(* Cache of fitted CNFET models, keyed by their full parameter set, so
-   a netlist with many identical transistors fits once. *)
-let model_cache : (string, Cnt_core.Cnt_model.t) Hashtbl.t = Hashtbl.create 8
-
+(* Resolve a CNFET card into a registered device model.  The registry
+   ({!Cnt_core.Device_model.of_card}) picks the backend from [model=]
+   (1|2 = piecewise for deck compatibility; any registered name
+   otherwise), resolves defaults and memoises equal cards so a netlist
+   with many identical transistors builds the model once.  [file=]
+   bypasses the registry and loads a pre-fitted piecewise model card
+   saved by {!Cnt_core.Model_io}. *)
 let cnfet_model line ~polarity attrs =
-  let get key default parse =
-    match List.assoc_opt key attrs with Some v -> parse v | None -> default
+  let num key default =
+    match List.assoc_opt key attrs with
+    | Some v -> number line v
+    | None -> default
   in
-  let num key default = get key default (fun v -> number line v) in
+  let length = num "l" 0.0 *. 1e-9 in
   match List.assoc_opt "file" attrs with
   | Some path ->
-      let length = num "l" 0.0 *. 1e-9 in
       let m =
         try Cnt_core.Model_io.load path
         with
@@ -394,39 +401,13 @@ let cnfet_model line ~polarity attrs =
       if Cnt_core.Cnt_model.polarity m <> polarity then
         fail line
           (Printf.sprintf "model file %s has the wrong polarity for this card" path);
-      (m, length)
-  | None ->
-  let temp = num "temp" 300.0 in
-  let fermi = num "ef" (-0.32) in
-  let diameter = num "d" 1.0 *. 1e-9 in
-  let tox = num "tox" 1.5 *. 1e-9 in
-  let kappa = num "kappa" 3.9 in
-  let alpha_g = num "alphag" 0.88 in
-  let alpha_d = num "alphad" 0.035 in
-  let model_no = int_of_float (num "model" 2.0) in
-  let optimise = num "optimise" 0.0 <> 0.0 in
-  let length = num "l" 0.0 *. 1e-9 in
-  let spec =
-    match model_no with
-    | 1 -> Cnt_core.Charge_fit.model1_spec
-    | 2 -> Cnt_core.Charge_fit.model2_spec
-    | n -> fail line (Printf.sprintf "unknown CNFET model=%d (use 1 or 2)" n)
-  in
-  let key =
-    Printf.sprintf "%s|%g|%g|%g|%g|%g|%g|%g|%d|%b"
-      (match polarity with Cnt_core.Cnt_model.N_type -> "n" | P_type -> "p")
-      temp fermi diameter tox kappa alpha_g alpha_d model_no optimise
-  in
-  match Hashtbl.find_opt model_cache key with
-  | Some m -> (m, length)
-  | None ->
-      let device =
-        Cnt_physics.Device.create ~temp ~fermi ~diameter ~oxide_thickness:tox
-          ~dielectric:kappa ~alpha_g ~alpha_d ()
-      in
-      let m = Cnt_core.Cnt_model.make ~polarity ~spec ~optimise device in
-      Hashtbl.add model_cache key m;
-      (m, length)
+      (Cnt_core.Device_model.of_piecewise m, length)
+  | None -> (
+      match
+        Cnt_core.Device_model.of_card ~polarity ~number:(number line) attrs
+      with
+      | Ok m -> (m, length)
+      | Error msg -> fail line msg)
 
 let parse_print line tokens =
   List.map
@@ -551,7 +532,8 @@ let parse text =
                           cnfet_model line ~polarity (attributes line attrs_toks)
                         in
                         elements :=
-                          Circuit.cnfet ~length head ~drain:d ~gate:g ~source:s model
+                          Circuit.cnfet_model ~length head ~drain:d ~gate:g
+                            ~source:s model
                           :: !elements
                       end
                     | _ -> fail line "cnfet: Mname drain gate source CNFET|PCNFET [key=value...]"

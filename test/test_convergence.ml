@@ -6,6 +6,12 @@
 
 open Cnt_spice
 
+(* The hard decks' convergence trails and the cspice exit contract are
+   pinned for each deck's declared model: neutralise any CNT_MODEL
+   override from the environment (the CI model matrix) for this
+   process and the cspice children — empty counts as unset. *)
+let () = Unix.putenv "CNT_MODEL" ""
+
 let check_close ?(eps = 1e-9) msg expected actual =
   if
     not

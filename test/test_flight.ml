@@ -14,6 +14,12 @@ module Progress = Cnt_obs.Progress
 module Manifest = Cnt_obs.Manifest
 module Report = Cnt_obs.Report
 
+(* This suite pins cspice bytes for decks on their declared models:
+   neutralise any CNT_MODEL override from the environment (the CI model
+   matrix) for this process and every child it spawns — an empty value
+   counts as unset on both sides. *)
+let () = Unix.putenv "CNT_MODEL" ""
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in

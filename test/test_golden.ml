@@ -24,6 +24,13 @@
 open Cnt_numerics
 open Cnt_experiments
 
+(* The golden files pin cspice bytes for decks on their declared
+   models: neutralise any CNT_MODEL override from the environment (the
+   CI model matrix) for this process and the cspice/repro children —
+   empty counts as unset.  Model-forced goldens live in
+   test_models.ml, which passes --model explicitly. *)
+let () = Unix.putenv "CNT_MODEL" ""
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in

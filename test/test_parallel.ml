@@ -194,7 +194,9 @@ let sweep_deck =
 let test_dc_sweep_identical () =
   let run jobs =
     let deck = Parser.parse sweep_deck in
-    Engine.run_deck ~jobs deck
+    match Engine.run_deck_result ~config:(Engine.config ~jobs ()) deck with
+    | Ok tables -> tables
+    | Error e -> Alcotest.failf "engine error: %s" (Diag.error_message e)
   in
   let t1 = run 1 and t4 = run jobs_many in
   List.iter2

@@ -15,6 +15,12 @@ module Protocol = Cnt_server.Protocol
 module Client = Cnt_server.Client
 module Server = Cnt_server.Server
 
+(* Daemon runs are compared against offline runs of the same decks on
+   their declared models: neutralise any CNT_MODEL override from the
+   environment (the CI model matrix) for this process and the
+   cntd/cspice children — empty counts as unset. *)
+let () = Unix.putenv "CNT_MODEL" ""
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in

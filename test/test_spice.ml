@@ -5,9 +5,23 @@
 open Cnt_numerics
 open Cnt_spice
 
+(* This suite pins values computed from each deck's declared model, so
+   a CNT_MODEL override from the environment (the CI model matrix) must
+   not rewrite the devices under test. *)
+let () = Cnt_core.Device_model.set_default_override None
+
 let check_close ?(eps = 1e-9) msg expected actual =
   if not (Special.approx_equal ~atol:eps ~rtol:eps expected actual) then
     Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* run a deck through the result API, failing the test on any engine
+   error *)
+let run_deck_ok ?config deck =
+  match Engine.run_deck_result ?config deck with
+  | Ok tables -> tables
+  | Error e ->
+      Alcotest.failf "engine error (%s): %s" (Diag.error_kind e)
+        (Diag.error_message e)
 
 (* ------------------------------------------------------------------ *)
 (* Waveforms                                                           *)
@@ -430,7 +444,7 @@ let test_parse_dc_directive () =
 
 let test_engine_op () =
   let deck = Parser.parse "t\nV1 in 0 2\nR1 in out 1k\nR2 out 0 1k\n.op\n.print v(out)\n.end" in
-  match Engine.run_deck deck with
+  match run_deck_ok deck with
   | [ t ] ->
       Alcotest.(check int) "one row" 1 (Array.length t.Engine.rows);
       check_close "half" 1.0 t.Engine.rows.(0).(0)
@@ -438,7 +452,7 @@ let test_engine_op () =
 
 let test_engine_dc_sweep () =
   let deck = Parser.parse "t\nV1 in 0 0\nR1 in out 2k\nR2 out 0 2k\n.dc V1 0 2 0.5\n.print v(out)\n.end" in
-  match Engine.run_deck deck with
+  match run_deck_ok deck with
   | [ t ] ->
       Alcotest.(check int) "rows" 5 (Array.length t.Engine.rows);
       check_close "last point" 1.0 t.Engine.rows.(4).(1)
@@ -447,13 +461,13 @@ let test_engine_dc_sweep () =
 let test_engine_default_prints () =
   (* no .print: all node voltages are reported *)
   let deck = Parser.parse "t\nV1 in 0 1\nR1 in out 1k\nR2 out 0 1k\n.op\n.end" in
-  match Engine.run_deck deck with
+  match run_deck_ok deck with
   | [ t ] -> Alcotest.(check int) "two columns" 2 (Array.length t.Engine.columns)
   | _ -> Alcotest.fail "expected one table"
 
 let test_engine_csv () =
   let deck = Parser.parse "t\nV1 in 0 1\nR1 in 0 1k\n.op\n.print v(in)\n.end" in
-  match Engine.run_deck deck with
+  match run_deck_ok deck with
   | [ t ] ->
       let csv = Engine.table_to_csv t in
       Alcotest.(check bool) "has header" true
@@ -578,7 +592,7 @@ let test_ac_parser_and_engine () =
       check_close "fstart" 1.0 fstart;
       check_close "fstop" 1e5 fstop
   | _ -> Alcotest.fail "ac not parsed");
-  match Engine.run_deck deck with
+  match run_deck_ok deck with
   | [ t ] ->
       Alcotest.(check int) "columns: freq + mag + phase" 3 (Array.length t.Engine.columns);
       Alcotest.(check int) "51 points" 51 (Array.length t.Engine.rows);
@@ -747,7 +761,7 @@ let test_subckt_divider () =
        RLOAD b 0 1meg\n\
        .op\n.print v(b)\n.end"
   in
-  match Engine.run_deck deck with
+  match run_deck_ok deck with
   | [ t ] -> check_close ~eps:1e-2 "half of 4V" 2.0 t.Engine.rows.(0).(0)
   | _ -> Alcotest.fail "expected one table"
 
@@ -765,7 +779,7 @@ let test_subckt_inverter_chain () =
        X2 b c vdd INV\n\
        .op\n.print v(b) v(c)\n.end"
   in
-  match Engine.run_deck deck with
+  match run_deck_ok deck with
   | [ t ] ->
       check_close ~eps:1e-3 "first stage inverts" 0.6 t.Engine.rows.(0).(0);
       check_close ~eps:1e-3 "second stage restores" 0.0 t.Engine.rows.(0).(1)
@@ -787,7 +801,7 @@ let test_subckt_internal_nodes_isolated () =
        RC c 0 3k\n\
        .op\n.print v(b) v(c)\n.end"
   in
-  match Engine.run_deck deck with
+  match run_deck_ok deck with
   | [ t ] ->
       (* divider ratios differ, so the internal mids must differ *)
       check_close ~eps:1e-6 "x1" (1.0 /. 3.0) t.Engine.rows.(0).(0);
@@ -904,7 +918,7 @@ let test_engine_device_current_print () =
          "t\nVG g 0 0.5\nVD d 0 0.4\nM1 d g 0 CNFET file=%s\n.op\n.print id(M1) i(VD)\n.end"
          path)
   in
-  match Engine.run_deck deck with
+  match run_deck_ok deck with
   | [ t ] ->
       let id_dev = t.Engine.rows.(0).(0) and i_vd = t.Engine.rows.(0).(1) in
       (* the drain supply sinks exactly the device current *)
