@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test check bench bench-diff obs-smoke obs-bench par-check par-bench conv-check conv-smoke conv-bench cache-check cache-smoke cache-bench asm-check asm-smoke asm-bench server-check server-smoke server-bench models-check models-smoke models-bench repro clean
+.PHONY: all build test check bench bench-diff obs-smoke obs-bench par-check par-bench conv-check conv-smoke conv-bench cache-check cache-smoke cache-bench asm-check asm-smoke asm-bench server-check server-smoke server-bench models-check models-smoke models-bench corpus-check corpus-bless repro clean
 
 all: build
 
@@ -119,6 +119,16 @@ models-smoke:
 models-bench:
 	dune exec bench/main.exe -- models-json > results/BENCH_models.json
 	@tail -n +2 results/BENCH_models.json | head -n 5
+
+# Netlist front-end gate: every test/corpus deck against its pinned
+# stdout or located-diagnostic golden, plus the parser property suite
+# (see docs/NETLIST.md).
+corpus-check:
+	dune exec test/test_corpus.exe
+
+# Regenerate the corpus goldens after an intentional front-end change.
+corpus-bless:
+	CNT_BLESS=1 dune exec test/test_corpus.exe
 
 repro:
 	dune exec bin/repro.exe -- all

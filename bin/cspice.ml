@@ -129,10 +129,11 @@ let finish_tables ~epilogue csv_err =
       epilogue ~outcome:(error_outcome e) (Cnt_spice.Diag.exit_code e)
 
 let run_offline ~epilogue ~manifest ~config ~render ~path text =
-  match Cnt_spice.Parser.parse text with
-  | exception Cnt_spice.Parser.Parse_error msg ->
-      prerr_endline ("parse error: " ^ msg);
-      epilogue ~outcome:(error_outcome (Cnt_spice.Diag.Parse msg)) exit_usage
+  match Cnt_spice.Parser.parse ~file:path text with
+  | exception Cnt_spice.Parser.Parse_error err ->
+      let err = Cnt_spice.Diag.Parse err in
+      prerr_endline (Cnt_spice.Diag.error_message err);
+      epilogue ~outcome:(error_outcome err) exit_usage
   | deck -> (
       Printf.printf "* title: %s\n" deck.Cnt_spice.Parser.title;
       set_netlist manifest ~path ~title:deck.Cnt_spice.Parser.title;
@@ -158,7 +159,7 @@ let run_connect ~epilogue ~manifest ~config ~render ~path ~obs ~sock text =
       @@ fun () ->
       let progress = obs.Cnt_cli.Cli_obs.progress <> Cnt_cli.Cli_obs.Off in
       let result =
-        Cnt_server.Client.run conn ~deck_text:text ~config ~progress
+        Cnt_server.Client.run conn ~file:path ~deck_text:text ~config ~progress
           ~on_title:(fun title ->
             Printf.printf "* title: %s\n%!" title;
             set_netlist manifest ~path ~title)

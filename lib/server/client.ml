@@ -103,12 +103,13 @@ let read_line conn =
   in
   go [] 0
 
-let run conn ?(id = "1") ~deck_text ~config ~progress
+let run conn ?(id = "1") ?file ~deck_text ~config ~progress
     ?(on_title = fun _ -> ()) ?(on_event = fun _ -> ()) () =
   match
     send_line conn
-      (Protocol.encode_run ~id ~deck:(Protocol.Deck_text deck_text) ~config
-         ~progress)
+      (Protocol.encode_run ~id
+         ~deck:(Protocol.Deck_text { text = deck_text; file })
+         ~config ~progress)
   with
   | Error e -> Error e
   | Ok () ->

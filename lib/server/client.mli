@@ -33,6 +33,7 @@ val close : connection -> unit
 val run :
   connection ->
   ?id:string ->
+  ?file:string ->
   deck_text:string ->
   config:Engine.config ->
   progress:bool ->
@@ -41,7 +42,10 @@ val run :
   unit ->
   (Engine.table list * Json.t, error) result
 (** Submit a deck and block until the result frame.  [config] travels
-    whole; the daemon overrides its base field-wise.  [progress]
+    whole; the daemon overrides its base field-wise.  [file] is the
+    local path the deck text came from — it rides along so the
+    daemon's parse-error locations (and relative [.include] paths)
+    match an offline run of the same file.  [progress]
     requests progress frames; decoded events reach [on_event].  The
     returned {!Json.t} is the daemon's server-info object (version,
     cache outcomes, run time) for the caller's manifest. *)

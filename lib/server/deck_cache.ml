@@ -28,6 +28,9 @@ open Cnt_spice
 type entry = {
   md5 : string;
   model : string option;  (* the override this deck was staged under *)
+  file : string option;  (* the client's path hint; part of the key
+                            because it anchors .include resolution and
+                            error locations *)
   deck : Parser.deck;
   mutable runs : int;  (* requests served from this entry, hit or miss *)
 }
@@ -61,18 +64,22 @@ let apply_eval_cache t deck =
           | _ -> ())
         (Circuit.elements deck.Parser.circuit)
 
-let find_or_parse ?model t text =
+let find_or_parse ?model ?file t text =
   let md5 = Digest.to_hex (Digest.string text) in
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
-  match List.find_opt (fun e -> e.md5 = md5 && e.model = model) t.entries with
+  match
+    List.find_opt
+      (fun e -> e.md5 = md5 && e.model = model && e.file = file)
+      t.entries
+  with
   | Some e ->
       t.hits <- t.hits + 1;
       e.runs <- e.runs + 1;
       Ok (e, true)
   | None -> (
-      match Parser.parse text with
-      | exception Parser.Parse_error msg -> Error msg
+      match Parser.parse ?file text with
+      | exception Parser.Parse_error err -> Error (Diag.Parse err)
       | deck -> (
           let remodelled =
             match model with
@@ -80,14 +87,15 @@ let find_or_parse ?model t text =
             | Some backend -> (
                 match Circuit.remodel deck.Parser.circuit ~backend with
                 | circuit -> Ok { deck with Parser.circuit }
-                | exception Circuit.Bad_circuit msg -> Error msg)
+                | exception Circuit.Bad_circuit msg ->
+                    Error (Diag.Bad_deck msg))
           in
           match remodelled with
           | Error _ as e -> e
           | Ok deck ->
               t.misses <- t.misses + 1;
               apply_eval_cache t deck;
-              let e = { md5; model; deck; runs = 1 } in
+              let e = { md5; model; file; deck; runs = 1 } in
               t.entries <-
                 e :: List.filteri (fun i _ -> i < t.max_entries - 1) t.entries;
               Ok (e, false)))

@@ -15,6 +15,9 @@
 type entry = {
   md5 : string;  (** hex MD5 of the exact deck text *)
   model : string option;  (** the override this deck was staged under *)
+  file : string option;
+      (** the client's path hint — part of the key because it anchors
+          [.include] resolution and error locations *)
   deck : Cnt_spice.Parser.deck;
   mutable runs : int;  (** requests served through this entry *)
 }
@@ -31,10 +34,17 @@ val create :
     enters the cache — the daemon then runs the engine with
     [cache = None] so the stores stay warm across requests. *)
 
-val find_or_parse : ?model:string -> t -> string -> (entry * bool, string) result
+val find_or_parse :
+  ?model:string ->
+  ?file:string ->
+  t ->
+  string ->
+  (entry * bool, Cnt_spice.Diag.error) result
 (** [(entry, was_hit)] for the deck text under the given model
     override, parsing, remodelling ({!Cnt_spice.Circuit.remodel}) and
-    inserting on miss; [Error message] when the text does not parse or
+    inserting on miss.  [file] names the text in error locations and
+    anchors relative [.include] paths.  [Error (Parse _)] (with the
+    location) when the text does not parse, [Error (Bad_deck _)] when
     a device card is rejected by the override's backend.  Callers must
     validate the backend name first — an unknown override over a deck
     with no CNFETs is not detected here. *)

@@ -16,7 +16,11 @@ open Cnt_spice
 let rpc_version = "cnt-rpc/1"
 
 type deck_source =
-  | Deck_text of string
+  | Deck_text of { text : string; file : string option }
+      (* [file] is an optional client-side path hint: it names the
+         text in parse-error locations and anchors relative .include
+         paths, which keeps --connect stderr byte-identical to
+         offline *)
   | Deck_path of string
 
 type request =
@@ -252,7 +256,9 @@ let table_of_json j =
 let encode_run ~id ~deck ~config ~progress =
   let deck_json =
     match deck with
-    | Deck_text text -> Json.Obj [ ("text", Json.Str text) ]
+    | Deck_text { text; file = None } -> Json.Obj [ ("text", Json.Str text) ]
+    | Deck_text { text; file = Some f } ->
+        Json.Obj [ ("text", Json.Str text); ("file", Json.Str f) ]
     | Deck_path path -> Json.Obj [ ("path", Json.Str path) ]
   in
   Json.to_string
@@ -315,7 +321,17 @@ let parse_request line =
                       Option.bind (Json.member "path" d) Json.to_str )
                   with
                   | Some text, _ ->
-                      Ok (Run { id; deck = Deck_text text; config_json; progress })
+                      let file =
+                        Option.bind (Json.member "file" d) Json.to_str
+                      in
+                      Ok
+                        (Run
+                           {
+                             id;
+                             deck = Deck_text { text; file };
+                             config_json;
+                             progress;
+                           })
                   | None, Some path ->
                       Ok (Run { id; deck = Deck_path path; config_json; progress })
                   | None, None ->

@@ -19,7 +19,10 @@ val rpc_version : string
 (** ["cnt-rpc/1"]. *)
 
 type deck_source =
-  | Deck_text of string  (** the netlist itself, newlines included *)
+  | Deck_text of { text : string; file : string option }
+      (** the netlist itself, newlines included; [file] is an optional
+          client-side path hint that names the text in parse-error
+          locations and anchors relative [.include] paths *)
   | Deck_path of string  (** a path readable by the {e daemon} *)
 
 type request =

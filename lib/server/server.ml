@@ -223,14 +223,14 @@ let send_engine_error conn ~id err =
 let handle_run t conn ~id ~deck ~config_json ~progress =
   let deck_text =
     match deck with
-    | Protocol.Deck_text text -> Ok text
+    | Protocol.Deck_text { text; file } -> Ok (text, file)
     | Protocol.Deck_path path -> (
-        try Ok (read_file path)
+        try Ok (read_file path, Some path)
         with Sys_error msg -> Error (Diag.Bad_deck msg))
   in
   match deck_text with
   | Error err -> send_engine_error conn ~id err
-  | Ok text -> (
+  | Ok (text, file) -> (
       (* config resolves before the deck lookup: the model override is
          part of the deck-cache key *)
       let config =
@@ -262,8 +262,8 @@ let handle_run t conn ~id ~deck ~config_json ~progress =
           match model_known with
           | Error err -> send_engine_error conn ~id err
           | Ok () -> (
-          match Deck_cache.find_or_parse ?model t.decks text with
-          | Error msg -> send_engine_error conn ~id (Diag.Parse msg)
+          match Deck_cache.find_or_parse ?model ?file t.decks text with
+          | Error err -> send_engine_error conn ~id err
           | Ok (entry, deck_hit) ->
               send_line conn
                 (Protocol.accepted_line ~id ~title:entry.Deck_cache.deck.title);

@@ -122,11 +122,42 @@ let of_trail ~analysis ?sweep_var ?sweep_point (trail : attempt list) =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Source locations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Where in a deck something went wrong.  [file] is the path the text
+   came from ("<deck>" for anonymous text), [line]/[col] are 1-based
+   and name the first character of the offending construct; for cards
+   assembled from '+' continuation lines this is always the first
+   physical line. *)
+type source_loc = { file : string; line : int; col : int }
+
+let source_loc_text l = Printf.sprintf "%s:%d:%d" l.file l.line l.col
+
+(* A parse diagnostic: the message, where it points, and an optional
+   caret-style excerpt of the offending source line (rendered by the
+   parser, which still has the raw text in hand). *)
+type located = {
+  loc : source_loc option;
+  message : string;
+  excerpt : string option;
+}
+
+(* A location-free parse diagnostic, for callers that only have a
+   message (protocol decodes, legacy call sites). *)
+let located_message message = { loc = None; message; excerpt = None }
+
+let located_text p =
+  match p.loc with
+  | Some l -> Printf.sprintf "%s: %s" (source_loc_text l) p.message
+  | None -> p.message
+
+(* ------------------------------------------------------------------ *)
 (* Engine-level errors                                                 *)
 (* ------------------------------------------------------------------ *)
 
 type error =
-  | Parse of string  (* the netlist text could not be parsed *)
+  | Parse of located  (* the netlist text could not be parsed *)
   | Bad_deck of string  (* deck semantics: unknown source, bad ranges *)
   | Convergence of t
   | Output_write of string  (* a requested artefact path was unwritable *)
@@ -231,7 +262,9 @@ let to_json d =
     (String.concat ", " (List.map attempt_to_json d.trail))
 
 let error_message = function
-  | Parse msg -> "parse error: " ^ msg
+  | Parse p -> (
+      let head = "parse error: " ^ located_text p in
+      match p.excerpt with None -> head | Some e -> head ^ "\n" ^ e)
   | Bad_deck msg -> "deck error: " ^ msg
   | Convergence d -> to_string d
   | Output_write msg -> "output error: " ^ msg
@@ -254,6 +287,9 @@ let error_kind = function
 let error_json e =
   let diag =
     match e with
+    | Parse { loc = Some l; _ } ->
+        Printf.sprintf ",\"loc\":{\"file\":\"%s\",\"line\":%d,\"col\":%d}"
+          (json_escape l.file) l.line l.col
     | Convergence d -> Printf.sprintf ",\"diag\":%s" (to_json d)
     | Deadline_exceeded { budget_s; elapsed_s } ->
         Printf.sprintf ",\"deadline\":{\"budget_s\":%s,\"elapsed_s\":%s}"

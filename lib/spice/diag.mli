@@ -79,10 +79,36 @@ val of_trail :
 (** Summarise a trail: totals the iterations and takes residual and
     worst node from the last attempt. *)
 
+(** {1 Source locations} *)
+
+type source_loc = { file : string; line : int; col : int }
+(** Where in a deck something went wrong.  [file] is the path the text
+    came from (["<deck>"] for anonymous text); [line]/[col] are
+    1-based and name the first character of the offending construct —
+    for '+'-continued cards, always the first physical line. *)
+
+val source_loc_text : source_loc -> string
+(** ["file:line:col"]. *)
+
+type located = {
+  loc : source_loc option;
+  message : string;
+  excerpt : string option;
+      (** caret-style excerpt of the offending source line *)
+}
+(** A parse diagnostic: message, position, optional excerpt. *)
+
+val located_message : string -> located
+(** A location-free diagnostic carrying only a message. *)
+
+val located_text : located -> string
+(** ["file:line:col: message"], or just the message without a
+    location.  Excludes the excerpt. *)
+
 (** {1 Engine-level errors} *)
 
 type error =
-  | Parse of string
+  | Parse of located
   | Bad_deck of string
   | Convergence of t
   | Output_write of string

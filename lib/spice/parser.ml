@@ -23,16 +23,47 @@
    (vs: vt0, dibl, nss, vxo, beta, vdsat, cinv — see docs/MODELS.md).
 
    Directives: .op | .dc SRC start stop step | .tran tstep tstop
-             | .ac dec n fstart fstop | .print v(node) i(vsrc) ... | .end
+             | .ac dec n fstart fstop | .print v(node) i(vsrc) ...
+             | .param NAME=EXPR ... | .include FILE | .end
 
-   Hierarchy: .subckt NAME port1 port2 ... / .ends define a subcircuit;
-   "Xinst n1 n2 ... NAME" instantiates it.  Internal nodes and element
-   names are prefixed with "inst.", instances may nest (depth <= 20).
+   Anywhere a number appears an arithmetic expression over earlier
+   .param definitions is accepted, spelled bare, as {expr} or as
+   'expr': + - * / ^ with the usual precedence, parentheses, unary
+   sign, engineering suffixes on literals, and a few functions
+   (sqrt exp ln log log10 abs min max pow) plus the constant pi.
 
-   Engineering suffixes on numbers: f p n u m k meg g t (SPICE
-   semantics: m = milli, meg = mega). *)
+   Hierarchy: ".subckt NAME port1 port2 ... [param=default ...]" /
+   ".ends" define a subcircuit whose body may reference its formal
+   params; "Xinst n1 n2 ... NAME [param=value ...]" instantiates it
+   with per-instance overrides.  Internal nodes and element names are
+   prefixed with "inst.", instances may nest (depth <= 20).  Each
+   distinct (subckt, parameter binding) resolves its body once into a
+   shared pattern — N identical instances evaluate expressions and
+   build device models a single time (see the parse.subckt.* counters).
 
-exception Parse_error of string
+   Every Parse_error carries a source location (file:line:col — the
+   first physical line for '+'-continued cards) and a caret excerpt of
+   the offending line.  See docs/NETLIST.md for the full grammar. *)
+
+module Obs = Cnt_obs.Obs
+
+type loc = Diag.source_loc = { file : string; line : int; col : int }
+
+type error = Diag.located = {
+  loc : loc option;
+  message : string;
+  excerpt : string option;
+}
+
+exception Parse_error of error
+
+(* Pattern/instance telemetry: [pattern_compiles] counts distinct
+   (subckt, parameter binding) body resolutions, [pattern_hits] cache
+   reuses, [instances] X-card expansions.  A 1000-instance deck with
+   one binding shows compiles=1, hits=999, instances=1000. *)
+let c_pattern_compiles = Obs.counter "parse.subckt.pattern_compiles"
+let c_pattern_hits = Obs.counter "parse.subckt.pattern_hits"
+let c_instances = Obs.counter "parse.subckt.instances"
 
 type print_item =
   | Print_v of string
@@ -62,319 +93,742 @@ type deck = {
   circuit : Circuit.t;
   analyses : analysis list;
   prints : print_item list;
+  files : string list; (* entry file first, then includes in order *)
 }
 
-let fail line msg = raise (Parse_error (Printf.sprintf "%s (in: %s)" msg line))
+(* ------------------------------------------------------------------ *)
+(* Parse state: raw sources for excerpts, located failure             *)
+(* ------------------------------------------------------------------ *)
 
-(* Parse a SPICE number with engineering suffix. *)
-let number line s =
-  let s = String.lowercase_ascii s in
-  let len = String.length s in
-  let split_at i = (String.sub s 0 i, String.sub s i (len - i)) in
-  (* find the longest numeric prefix *)
-  let rec prefix_end i =
-    if i >= len then i
-    else begin
-      match s.[i] with
-      | '0' .. '9' | '.' | '+' | '-' -> prefix_end (i + 1)
-      | 'e'
-        when i + 1 < len
-             && (match s.[i + 1] with '0' .. '9' | '+' | '-' -> true | _ -> false) ->
-          prefix_end (i + 2)
-      | _ -> i
-    end
-  in
-  let cut = prefix_end 0 in
-  if cut = 0 then fail line (Printf.sprintf "expected a number, got %S" s);
-  let num, suffix = split_at cut in
-  let base =
-    match float_of_string_opt num with
-    | Some v -> v
-    | None -> fail line (Printf.sprintf "bad number %S" s)
-  in
-  let scale =
-    if suffix = "" then 1.0
-    else if String.length suffix >= 3 && String.sub suffix 0 3 = "meg" then 1e6
-    else begin
-      match suffix.[0] with
-      | 'f' -> 1e-15
-      | 'p' -> 1e-12
-      | 'n' -> 1e-9
-      | 'u' -> 1e-6
-      | 'm' -> 1e-3
-      | 'k' -> 1e3
-      | 'g' -> 1e9
-      | 't' -> 1e12
-      | _ -> fail line (Printf.sprintf "unknown unit suffix %S" suffix)
-    end
-  in
-  base *. scale
+type state = {
+  sources : (string, string array) Hashtbl.t; (* file -> physical lines *)
+  mutable file_order : string list; (* reversed registration order *)
+}
 
-(* Join continuation lines, strip comments, drop blanks. *)
-let logical_lines text =
-  let raw = String.split_on_char '\n' text in
-  let cleaned =
-    List.filter_map
-      (fun l ->
-        let l = match String.index_opt l '$' with
-          | Some i -> String.sub l 0 i
-          | None -> l
-        in
-        let t = String.trim l in
-        if t = "" then None
-        else if t.[0] = '*' then None
-        else Some t)
-      raw
-  in
-  let rec join acc = function
-    | [] -> List.rev acc
-    | l :: rest when String.length l > 0 && l.[0] = '+' -> begin
-        match acc with
-        | prev :: acc' ->
-            join ((prev ^ " " ^ String.sub l 1 (String.length l - 1)) :: acc') rest
-        | [] -> raise (Parse_error "continuation line '+' with nothing before it")
-      end
-    | l :: rest -> join (l :: acc) rest
-  in
-  join [] cleaned
+let register_source st file text =
+  if not (Hashtbl.mem st.sources file) then
+    st.file_order <- file :: st.file_order;
+  Hashtbl.replace st.sources file
+    (Array.of_list (String.split_on_char '\n' text))
 
-(* Split a card into tokens, keeping parenthesised groups attached to
-   the word before them: "pulse(0 1 2)" -> ["pulse(0 1 2)"]. *)
-let tokenize line =
-  let n = String.length line in
+(* "  12 | R1 in out {r}\n     |           ^" *)
+let excerpt_at st (l : loc) =
+  match Hashtbl.find_opt st.sources l.file with
+  | None -> None
+  | Some lines when l.line >= 1 && l.line <= Array.length lines ->
+      let text =
+        String.map (fun c -> if c = '\t' then ' ' else c) lines.(l.line - 1)
+      in
+      let caret = max 0 (min (l.col - 1) (String.length text)) in
+      Some
+        (Printf.sprintf "%4d | %s\n     | %s^" l.line text
+           (String.make caret ' '))
+  | Some _ -> None
+
+let fail st (l : loc) fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise (Parse_error { loc = Some l; message; excerpt = excerpt_at st l }))
+    fmt
+
+let fail_nowhere fmt =
+  Printf.ksprintf
+    (fun message -> raise (Parse_error { loc = None; message; excerpt = None }))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluator                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Env = Map.Make (String)
+
+(* Internal: carries the character offset of the problem inside the
+   expression text so the caller can point a located error at it. *)
+exception Expr_error of int * string
+
+(* Precedence, loosest to tightest: + - (binary), * /, unary + -, ^
+   (right-associative, so 2^3^2 = 512 and -2^2 = -4 while 2^-2 works).
+   Literals take SPICE engineering suffixes (f p n u m k meg g t;
+   m = milli, meg = mega; trailing letters after a valid suffix are
+   units and ignored, as in "1kohm"). *)
+let eval_in env s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error i fmt = Printf.ksprintf (fun m -> raise (Expr_error (i, m))) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') in
+  let is_ident_start c = is_letter c || c = '_' in
+  let is_ident c = is_ident_start c || is_digit c in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let scan_number () =
+    let i0 = !pos in
+    while !pos < n && (is_digit s.[!pos] || s.[!pos] = '.') do
+      incr pos
+    done;
+    (if !pos < n && (s.[!pos] = 'e' || s.[!pos] = 'E') then
+       let k = !pos + 1 in
+       let k = if k < n && (s.[k] = '+' || s.[k] = '-') then k + 1 else k in
+       if k < n && is_digit s.[k] then begin
+         pos := k;
+         while !pos < n && is_digit s.[!pos] do
+           incr pos
+         done
+       end);
+    let mant = String.sub s i0 (!pos - i0) in
+    let v =
+      match float_of_string_opt mant with
+      | Some v -> v
+      | None -> error i0 "bad number %S" mant
+    in
+    let u0 = !pos in
+    while !pos < n && is_letter s.[!pos] do
+      incr pos
+    done;
+    let unit = String.lowercase_ascii (String.sub s u0 (!pos - u0)) in
+    let scale =
+      if unit = "" then 1.0
+      else if String.length unit >= 3 && String.sub unit 0 3 = "meg" then 1e6
+      else
+        match unit.[0] with
+        | 'f' -> 1e-15
+        | 'p' -> 1e-12
+        | 'n' -> 1e-9
+        | 'u' -> 1e-6
+        | 'm' -> 1e-3
+        | 'k' -> 1e3
+        | 'g' -> 1e9
+        | 't' -> 1e12
+        | _ -> error u0 "unknown unit suffix %S" unit
+    in
+    v *. scale
+  in
+  let apply_fn i name args =
+    let one f = match args with [ x ] -> f x | _ ->
+      error i "%s expects 1 argument, got %d" name (List.length args)
+    in
+    let two f = match args with [ x; y ] -> f x y | _ ->
+      error i "%s expects 2 arguments, got %d" name (List.length args)
+    in
+    match name with
+    | "sqrt" -> one sqrt
+    | "exp" -> one exp
+    | "ln" | "log" -> one log
+    | "log10" -> one log10
+    | "abs" -> one abs_float
+    | "min" -> two min
+    | "max" -> two max
+    | "pow" -> two ( ** )
+    | _ -> error i "unknown function %S" name
+  in
+  let rec expr () =
+    let v = ref (term ()) in
+    let rec loop () =
+      skip_ws ();
+      match peek () with
+      | Some '+' ->
+          incr pos;
+          v := !v +. term ();
+          loop ()
+      | Some '-' ->
+          incr pos;
+          v := !v -. term ();
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !v
+  and term () =
+    let v = ref (unary ()) in
+    let rec loop () =
+      skip_ws ();
+      match peek () with
+      | Some '*' ->
+          incr pos;
+          v := !v *. unary ();
+          loop ()
+      | Some '/' ->
+          incr pos;
+          v := !v /. unary ();
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !v
+  and unary () =
+    skip_ws ();
+    match peek () with
+    | Some '-' ->
+        incr pos;
+        -.unary ()
+    | Some '+' ->
+        incr pos;
+        unary ()
+    | _ -> power ()
+  and power () =
+    let base = atom () in
+    skip_ws ();
+    match peek () with
+    | Some '^' ->
+        incr pos;
+        base ** unary ()
+    | _ -> base
+  and atom () =
+    skip_ws ();
+    match peek () with
+    | None -> error !pos "expected a value"
+    | Some '(' ->
+        incr pos;
+        let v = expr () in
+        skip_ws ();
+        (match peek () with
+        | Some ')' -> incr pos
+        | _ -> error !pos "expected ')'");
+        v
+    | Some c when is_digit c || c = '.' -> scan_number ()
+    | Some c when is_ident_start c ->
+        let i0 = !pos in
+        while !pos < n && is_ident s.[!pos] do
+          incr pos
+        done;
+        let name = String.lowercase_ascii (String.sub s i0 (!pos - i0)) in
+        skip_ws ();
+        if peek () = Some '(' then begin
+          incr pos;
+          let args = ref [] in
+          let rec collect () =
+            args := expr () :: !args;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                collect ()
+            | Some ')' -> incr pos
+            | _ -> error !pos "expected ',' or ')'"
+          in
+          skip_ws ();
+          (match peek () with
+          | Some ')' -> incr pos
+          | _ -> collect ());
+          apply_fn i0 name (List.rev !args)
+        end
+        else begin
+          match Env.find_opt name env with
+          | Some v -> v
+          | None when name = "pi" -> Float.pi
+          | None -> error i0 "unknown parameter %S" name
+        end
+    | Some c -> error !pos "unexpected %C in expression" c
+  in
+  let v = expr () in
+  skip_ws ();
+  if !pos < n then error !pos "unexpected %C in expression" s.[!pos];
+  v
+
+(* Strip one layer of {...} or '...' and report the offset shift. *)
+let unwrap_expr text =
+  let l = String.length text in
+  if l >= 2 && ((text.[0] = '{' && text.[l - 1] = '}')
+               || (text.[0] = '\'' && text.[l - 1] = '\''))
+  then (String.sub text 1 (l - 2), 1)
+  else (text, 0)
+
+(* Public helper (tests, tools): evaluate one expression under a
+   parameter binding.  Accepts bare, {...} and '...' spellings. *)
+let eval_expr ?(params = []) text =
+  let env =
+    List.fold_left
+      (fun m (k, v) -> Env.add (String.lowercase_ascii k) v m)
+      Env.empty params
+  in
+  let inner, _ = unwrap_expr text in
+  match eval_in env inner with
+  | v -> Ok v
+  | exception Expr_error (_, msg) -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Lexer: physical lines -> located cards                              *)
+(* ------------------------------------------------------------------ *)
+
+type token = { text : string; at : loc }
+
+type card = { at : loc; toks : token list }
+
+let strip_comment line =
+  match String.index_opt line '$' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let rtrim s =
+  let n = String.length s in
+  let rec stop i =
+    if i > 0 && (s.[i - 1] = ' ' || s.[i - 1] = '\t' || s.[i - 1] = '\r') then
+      stop (i - 1)
+    else i
+  in
+  String.sub s 0 (stop n)
+
+let first_nonws s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then None
+    else if s.[i] = ' ' || s.[i] = '\t' then go (i + 1)
+    else Some i
+  in
+  go 0
+
+(* Join a card's continuation segments into one string plus a per-char
+   location map, so tokens (and errors inside them) keep pointing at
+   the physical source even across '+' lines. *)
+let join_segments segs =
+  let buf = Buffer.create 64 in
+  let locs = ref [] in
+  List.iteri
+    (fun i (l0, text) ->
+      if i > 0 then begin
+        Buffer.add_char buf ' ';
+        locs := l0 :: !locs
+      end;
+      String.iteri
+        (fun j c ->
+          Buffer.add_char buf c;
+          locs := { l0 with col = l0.col + j } :: !locs)
+        text)
+    segs;
+  (Buffer.contents buf, Array.of_list (List.rev !locs))
+
+(* Split a joined card into tokens on spaces/tabs/commas, keeping
+   (...), {...} and '...' groups intact: "pulse(0 1 2)" and "{2 * r}"
+   are single tokens.  Total: unbalanced groups simply end with the
+   card and surface as errors at their use site. *)
+let tokenize_joined (text, locs) =
+  let n = String.length text in
   let buf = Buffer.create 16 in
-  let tokens = ref [] in
-  let depth = ref 0 in
+  let toks = ref [] in
+  let start = ref None in
+  let paren = ref 0 and brace = ref 0 in
+  let quoted = ref false in
   let flush () =
-    if Buffer.length buf > 0 then begin
-      tokens := Buffer.contents buf :: !tokens;
-      Buffer.clear buf
-    end
+    match !start with
+    | Some at when Buffer.length buf > 0 ->
+        toks := { text = Buffer.contents buf; at } :: !toks;
+        Buffer.clear buf;
+        start := None
+    | _ ->
+        Buffer.clear buf;
+        start := None
   in
   for i = 0 to n - 1 do
-    let ch = line.[i] in
-    match ch with
-    | '(' ->
-        incr depth;
-        Buffer.add_char buf ch
-    | ')' ->
-        decr depth;
-        Buffer.add_char buf ch
-    | ' ' | '\t' | ',' when !depth = 0 -> flush ()
-    | _ -> Buffer.add_char buf ch
+    let ch = text.[i] in
+    let mark () = if !start = None then start := Some locs.(i) in
+    if !quoted then begin
+      Buffer.add_char buf ch;
+      if ch = '\'' then quoted := false
+    end
+    else
+      match ch with
+      | '\'' ->
+          mark ();
+          quoted := true;
+          Buffer.add_char buf ch
+      | '(' ->
+          mark ();
+          incr paren;
+          Buffer.add_char buf ch
+      | ')' ->
+          mark ();
+          decr paren;
+          Buffer.add_char buf ch
+      | '{' ->
+          mark ();
+          incr brace;
+          Buffer.add_char buf ch
+      | '}' ->
+          mark ();
+          decr brace;
+          Buffer.add_char buf ch
+      | (' ' | '\t' | ',') when !paren = 0 && !brace = 0 -> flush ()
+      | _ ->
+          mark ();
+          Buffer.add_char buf ch
   done;
   flush ();
-  List.rev !tokens
+  List.rev !toks
 
-(* Extract "name(args)" -> (name, [arg tokens]); plain tokens return
-   (token, []). *)
+(* ".include FILE" — spliced at lex time so a card never spans an
+   include boundary and every included card keeps its own file in its
+   location. *)
+let is_include_line content =
+  let l = String.lowercase_ascii content in
+  String.length l >= 8
+  && String.sub l 0 8 = ".include"
+  && (String.length l = 8 || l.[8] = ' ' || l.[8] = '\t')
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let include_path st at content =
+  let arg = String.trim (String.sub content 8 (String.length content - 8)) in
+  let arg =
+    let l = String.length arg in
+    if l >= 2
+       && ((arg.[0] = '"' && arg.[l - 1] = '"')
+          || (arg.[0] = '\'' && arg.[l - 1] = '\''))
+    then String.sub arg 1 (l - 2)
+    else arg
+  in
+  if arg = "" then fail st at ".include needs a file path";
+  let base_dir = Filename.dirname at.file in
+  if Filename.is_relative arg && base_dir <> "." && base_dir <> "<deck>" then
+    Filename.concat base_dir arg
+  else arg
+
+let rec lex_lines st ~stack ~file ~lines ~from emit =
+  let current = ref None in
+  let flush () =
+    match !current with
+    | None -> ()
+    | Some (at, segs) ->
+        current := None;
+        let toks = tokenize_joined (join_segments (List.rev segs)) in
+        if toks <> [] then emit { at; toks }
+  in
+  let nlines = Array.length lines in
+  for idx = from to nlines - 1 do
+    let raw = strip_comment lines.(idx) in
+    match first_nonws raw with
+    | None -> ()
+    | Some s when raw.[s] = '*' -> ()
+    | Some s when raw.[s] = '+' ->
+        let at = { file; line = idx + 1; col = s + 1 } in
+        (match !current with
+        | None -> fail st at "continuation line '+' with nothing before it"
+        | Some (card_at, segs) ->
+            let content =
+              rtrim (String.sub raw (s + 1) (String.length raw - s - 1))
+            in
+            let seg_at = { file; line = idx + 1; col = s + 2 } in
+            current := Some (card_at, (seg_at, content) :: segs))
+    | Some s ->
+        flush ();
+        let content = rtrim (String.sub raw s (String.length raw - s)) in
+        let at = { file; line = idx + 1; col = s + 1 } in
+        if is_include_line content then begin
+          let path = include_path st at content in
+          if List.mem path stack then
+            fail st at ".include cycle: %s"
+              (String.concat " -> " (List.rev (path :: stack)));
+          if List.length stack > 40 then
+            fail st at ".include nested deeper than 40";
+          let text =
+            match read_file path with
+            | text -> text
+            | exception Sys_error msg ->
+                fail st at "cannot read .include file: %s" msg
+          in
+          register_source st path text;
+          lex_lines st ~stack:(path :: stack) ~file:path
+            ~lines:(Array.of_list (String.split_on_char '\n' text))
+            ~from:0 emit
+        end
+        else current := Some (at, [ (at, content) ])
+  done;
+  flush ()
+
+(* ------------------------------------------------------------------ *)
+(* Token utilities                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let lc = String.lowercase_ascii
+
+let is_grouped t =
+  String.length t.text > 0
+  && (t.text.[0] = '{' || t.text.[0] = '\'' || t.text.[0] = '(')
+
+(* Re-attach key=value pairs the tokenizer split on spaces around '=':
+   "w = 2", "w= 2" and "w =2" all become the single token "w=2". *)
+let glue_eq toks =
+  let ends_eq t =
+    (not (is_grouped t))
+    && String.length t.text > 0
+    && t.text.[String.length t.text - 1] = '='
+  in
+  let starts_eq t =
+    (not (is_grouped t)) && String.length t.text > 0 && t.text.[0] = '='
+  in
+  let rec go = function
+    | a :: b :: rest when (not (is_grouped a)) && b.text = "=" ->
+        go ({ a with text = a.text ^ "=" } :: rest)
+    | a :: b :: rest when ends_eq a ->
+        go ({ a with text = a.text ^ b.text } :: rest)
+    | a :: b :: rest when (not (is_grouped a)) && starts_eq b ->
+        go ({ a with text = a.text ^ b.text } :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go toks
+
+let has_eq t =
+  (not (is_grouped t)) && String.contains t.text '='
+
+(* Evaluate an expression found at [at] (plus [coloff] characters in)
+   under the parameter binding [env]; located failure. *)
+let eval_text st env ~at ~coloff text =
+  let inner, base = unwrap_expr text in
+  match eval_in env inner with
+  | v -> v
+  | exception Expr_error (i, msg) ->
+      fail st { at with col = at.col + coloff + base + i } "%s" msg
+
+let value_of st env (tok : token) = eval_text st env ~at:tok.at ~coloff:0 tok.text
+
+let is_ident_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+(* "key=value" token -> (key lowercase, value text, value loc). *)
+let split_kv st (tok : token) =
+  match String.index_opt tok.text '=' with
+  | Some i when i > 0 && i < String.length tok.text - 1 ->
+      let key = lc (String.sub tok.text 0 i) in
+      let v = String.sub tok.text (i + 1) (String.length tok.text - i - 1) in
+      (key, v, { tok.at with col = tok.at.col + i + 1 })
+  | _ -> fail st tok.at "expected key=value, got %S" tok.text
+
+(* Extract "name(args)" -> (name, [arg strings]); plain tokens return
+   (token, []).  Args split on spaces/commas outside {...}/'...'. *)
 let call_form tok =
   match String.index_opt tok '(' with
-  | None -> (String.lowercase_ascii tok, [])
+  | None -> (lc tok, [])
   | Some i ->
-      let name = String.lowercase_ascii (String.sub tok 0 i) in
+      let name = lc (String.sub tok 0 i) in
       let inner = String.sub tok (i + 1) (String.length tok - i - 1) in
       let inner =
-        if String.length inner > 0 && inner.[String.length inner - 1] = ')' then
-          String.sub inner 0 (String.length inner - 1)
+        if String.length inner > 0 && inner.[String.length inner - 1] = ')'
+        then String.sub inner 0 (String.length inner - 1)
         else inner
       in
-      let args =
-        String.split_on_char ' ' (String.map (fun c -> if c = ',' then ' ' else c) inner)
-        |> List.filter (fun s -> s <> "")
+      let args = ref [] in
+      let buf = Buffer.create 8 in
+      let brace = ref 0 and quoted = ref false in
+      let flushb () =
+        if Buffer.length buf > 0 then begin
+          args := Buffer.contents buf :: !args;
+          Buffer.clear buf
+        end
       in
-      (name, args)
+      String.iter
+        (fun c ->
+          if !quoted then begin
+            Buffer.add_char buf c;
+            if c = '\'' then quoted := false
+          end
+          else
+            match c with
+            | '\'' ->
+                quoted := true;
+                Buffer.add_char buf c
+            | '{' ->
+                incr brace;
+                Buffer.add_char buf c
+            | '}' ->
+                decr brace;
+                Buffer.add_char buf c
+            | (' ' | '\t' | ',') when !brace = 0 -> flushb ()
+            | c -> Buffer.add_char buf c)
+        inner;
+      flushb ();
+      (name, List.rev !args)
 
 (* ------------------------------------------------------------------ *)
-(* Subcircuit expansion                                                *)
+(* Subcircuit definitions and resolved patterns                        *)
 (* ------------------------------------------------------------------ *)
 
-type subckt = {
+(* A subcircuit body resolved under one parameter binding: expressions
+   are evaluated (device models built and memoised), node names are
+   still the body's own — instancing only maps nodes and prefixes
+   names, so the resolved pattern is shared by every instance with the
+   same binding. *)
+type rcard =
+  | R_two of {
+      kind : [ `R | `C | `L ];
+      rname : string;
+      n1 : string;
+      n2 : string;
+      value : float;
+    }
+  | R_src of {
+      kind : [ `V | `I ];
+      rname : string;
+      np : string;
+      nn : string;
+      wave : Waveform.t;
+      ac : float;
+    }
+  | R_fet of {
+      rname : string;
+      d : string;
+      g : string;
+      s : string;
+      model : Cnt_core.Device_model.t;
+      length : float;
+    }
+  | R_inst of {
+      rname : string;
+      nodes : string list;
+      sub : subckt;
+      ienv : float Env.t; (* full binding the instance body resolves under *)
+      rat : loc;
+    }
+
+and subckt = {
+  sname : string;
   ports : string list; (* lowercase port node names *)
-  body : string list; (* raw card lines *)
+  formals : (string * token) list; (* formal param -> default expr *)
+  body : card list;
+  sloc : loc;
+  patterns : (string, rcard list) Hashtbl.t; (* binding signature -> body *)
 }
 
-(* Separate .subckt blocks from top-level lines. *)
-let extract_subckts lines =
+(* Separate .subckt blocks from top-level cards. *)
+let extract_subckts st cards =
   let defs = Hashtbl.create 4 in
   let rec go acc current = function
     | [] -> begin
         match current with
-        | Some (name, _, _) ->
-            raise (Parse_error (Printf.sprintf ".subckt %s has no .ends" name))
+        | Some def -> fail st def.sloc ".subckt %s has no .ends" def.sname
         | None -> List.rev acc
       end
-    | line :: rest -> begin
-        let tokens = tokenize line in
-        match (List.map String.lowercase_ascii tokens, current) with
-        | ".subckt" :: name :: ports, None ->
-            if ports = [] then fail line ".subckt needs at least one port";
-            go acc (Some (name, ports, [])) rest
-        | ".subckt" :: _, Some _ -> fail line ".subckt definitions cannot nest"
-        | ".ends" :: _, Some (name, ports, body) ->
-            if Hashtbl.mem defs name then
-              fail line (Printf.sprintf "duplicate subcircuit %s" name);
-            Hashtbl.add defs name { ports; body = List.rev body };
-            go acc None rest
-        | ".ends" :: _, None -> fail line ".ends without .subckt"
-        | _, Some (name, ports, body) -> go acc (Some (name, ports, line :: body)) rest
-        | _, None -> go (line :: acc) None rest
+    | (card : card) :: rest -> begin
+        match card.toks with
+        | [] -> go acc current rest
+        | head :: args -> begin
+            match (lc head.text, current) with
+            | ".subckt", Some _ ->
+                fail st head.at ".subckt definitions cannot nest"
+            | ".subckt", None -> begin
+                match args with
+                | [] -> fail st head.at ".subckt needs a name and ports"
+                | name :: rest_toks ->
+                    let sname = lc name.text in
+                    if Hashtbl.mem defs sname then
+                      fail st name.at "duplicate subcircuit %s" sname;
+                    let ports, formals =
+                      List.partition_map
+                        (fun t ->
+                          if has_eq t then begin
+                            let key, v, vat = split_kv st t in
+                            if not (is_ident_name key) then
+                              fail st t.at "bad parameter name %S" key;
+                            Either.Right (key, { text = v; at = vat })
+                          end
+                          else Either.Left (lc t.text))
+                        (glue_eq rest_toks)
+                    in
+                    if ports = [] then
+                      fail st head.at ".subckt needs at least one port";
+                    go acc
+                      (Some
+                         {
+                           sname;
+                           ports;
+                           formals;
+                           body = [];
+                           sloc = head.at;
+                           patterns = Hashtbl.create 4;
+                         })
+                      rest
+              end
+            | ".ends", Some def ->
+                Hashtbl.add defs def.sname
+                  { def with body = List.rev def.body };
+                go acc None rest
+            | ".ends", None -> fail st head.at ".ends without .subckt"
+            | _, Some def ->
+                go acc (Some { def with body = card :: def.body }) rest
+            | _, None -> go (card :: acc) None rest
+          end
       end
   in
-  let top = go [] None lines in
+  let top = go [] None cards in
   (defs, top)
 
-(* Rewrite one card of a subcircuit body for an instance: element names
-   get the instance prefix, port nodes map to the caller's nodes, other
-   non-ground nodes become instance-local. *)
-let instantiate_card ~line ~prefix ~node_map card =
-  match tokenize card with
-  | [] -> []
-  | head :: args ->
-      let map_node n =
-        let key = String.lowercase_ascii n in
-        if Circuit.is_ground n then n
-        else begin
-          match Hashtbl.find_opt node_map key with
-          | Some mapped -> mapped
-          | None -> prefix ^ "." ^ key
-        end
-      in
-      (* the first character encodes the element type, so the instance
-         prefix goes after it: MN1 in instance x1 -> "mx1.mn1" *)
-      let rename =
-        Printf.sprintf "%c%s.%s"
-          (Char.lowercase_ascii head.[0])
-          prefix
-          (String.lowercase_ascii head)
-      in
-      let rebuilt =
-        match (String.lowercase_ascii head).[0] with
-        | 'r' | 'c' | 'l' -> begin
-            match args with
-            | n1 :: n2 :: rest -> rename :: map_node n1 :: map_node n2 :: rest
-            | _ -> fail line (Printf.sprintf "bad card in subcircuit: %s" card)
-          end
-        | 'v' | 'i' -> begin
-            match args with
-            | np :: nn :: rest -> rename :: map_node np :: map_node nn :: rest
-            | _ -> fail line (Printf.sprintf "bad card in subcircuit: %s" card)
-          end
-        | 'm' -> begin
-            match args with
-            | d :: g :: srcn :: rest ->
-                rename :: map_node d :: map_node g :: map_node srcn :: rest
-            | _ -> fail line (Printf.sprintf "bad card in subcircuit: %s" card)
-          end
-        | 'x' -> begin
-            (* nested instance: all but the last argument are nodes *)
-            match List.rev args with
-            | sub :: rev_nodes ->
-                rename :: (List.rev_map map_node rev_nodes @ [ sub ])
-            | [] -> fail line (Printf.sprintf "bad instance in subcircuit: %s" card)
-          end
-        | '.' -> fail line "directives are not allowed inside .subckt"
-        | _ -> fail line (Printf.sprintf "unknown card in subcircuit: %s" card)
-      in
-      [ String.concat " " rebuilt ]
-
-(* Expand every X card, recursively, bounded depth. *)
-let rec expand_line defs ~depth line =
-  if depth > 20 then raise (Parse_error "subcircuit nesting deeper than 20");
-  match tokenize line with
-  | head :: args when (String.lowercase_ascii head).[0] = 'x' -> begin
-      match List.rev args with
-      | sub :: rev_nodes ->
-          let sub = String.lowercase_ascii sub in
-          let nodes = List.rev rev_nodes in
-          let def =
-            match Hashtbl.find_opt defs sub with
-            | Some d -> d
-            | None -> fail line (Printf.sprintf "unknown subcircuit %s" sub)
-          in
-          if List.length nodes <> List.length def.ports then
-            fail line
-              (Printf.sprintf "%s expects %d ports, got %d" sub
-                 (List.length def.ports) (List.length nodes));
-          let node_map = Hashtbl.create 8 in
-          List.iter2 (fun port node -> Hashtbl.add node_map port node) def.ports nodes;
-          List.concat_map
-            (fun card ->
-              List.concat_map
-                (expand_line defs ~depth:(depth + 1))
-                (instantiate_card ~line ~prefix:(String.lowercase_ascii head)
-                   ~node_map card))
-            def.body
-      | [] -> fail line "instance: Xname node... SUBCKT"
-    end
-  | _ -> [ line ]
-
-let expand_subckts lines =
-  let defs, top = extract_subckts lines in
-  List.concat_map (expand_line defs ~depth:0) top
+(* ------------------------------------------------------------------ *)
+(* Element cards                                                       *)
+(* ------------------------------------------------------------------ *)
 
 (* Split off a trailing "AC <magnitude>" pair from a source card's
    value tokens. *)
-let split_ac line tokens =
+let split_ac st env tokens =
   let rec go acc = function
     | [] -> (List.rev acc, 0.0)
-    | [ tok ] when String.lowercase_ascii tok = "ac" ->
-        fail line "AC keyword needs a magnitude"
-    | tok :: mag :: rest when String.lowercase_ascii tok = "ac" ->
-        if rest <> [] then fail line "AC magnitude must end the source card";
-        (List.rev acc, number line mag)
+    | [ tok ] when lc tok.text = "ac" ->
+        fail st tok.at "AC keyword needs a magnitude"
+    | tok :: mag :: rest when lc tok.text = "ac" ->
+        if rest <> [] then
+          fail st (List.hd rest).at "AC magnitude must end the source card";
+        (List.rev acc, value_of st env mag)
     | tok :: rest -> go (tok :: acc) rest
   in
   go [] tokens
 
 (* Parse the value part of an independent source card. *)
-let source_wave line tokens =
+let source_wave st env ~at tokens =
   match tokens with
-  | [] -> fail line "source needs a value"
+  | [] -> fail st at "source needs a value"
   | tok :: rest -> begin
-      let name, args = call_form tok in
+      let name, args = call_form tok.text in
+      let num a = eval_text st env ~at:tok.at ~coloff:0 a in
       match (name, args, rest) with
-      | "dc", [], v :: _ -> Waveform.dc (number line v)
-      | "dc", [ v ], _ -> Waveform.dc (number line v)
+      | "dc", [], v :: _ -> Waveform.dc (value_of st env v)
+      | "dc", [ v ], _ -> Waveform.dc (num v)
       | "pulse", args, _ -> begin
-          match List.map (number line) args with
+          match List.map num args with
           | [ v1; v2; td; tr; tf; pw; per ] ->
               Waveform.pulse ~delay:td ~rise:tr ~fall:tf ~v1 ~v2 ~width:pw
                 ~period:per ()
-          | _ -> fail line "pulse needs 7 parameters (v1 v2 td tr tf pw per)"
+          | _ ->
+              fail st tok.at "pulse needs 7 parameters (v1 v2 td tr tf pw per)"
         end
       | "sin", args, _ -> begin
-          match List.map (number line) args with
-          | [ vo; va; freq ] -> Waveform.sin_wave ~offset:vo ~amplitude:va ~freq ()
+          match List.map num args with
+          | [ vo; va; freq ] ->
+              Waveform.sin_wave ~offset:vo ~amplitude:va ~freq ()
           | [ vo; va; freq; td ] ->
               Waveform.sin_wave ~delay:td ~offset:vo ~amplitude:va ~freq ()
           | [ vo; va; freq; td; damping ] ->
-              Waveform.sin_wave ~delay:td ~damping ~offset:vo ~amplitude:va ~freq ()
-          | _ -> fail line "sin needs 3-5 parameters (vo va freq [td [damping]])"
+              Waveform.sin_wave ~delay:td ~damping ~offset:vo ~amplitude:va
+                ~freq ()
+          | _ ->
+              fail st tok.at
+                "sin needs 3-5 parameters (vo va freq [td [damping]])"
         end
       | "pwl", args, _ -> begin
-          let nums = List.map (number line) args in
+          let nums = List.map num args in
           let rec pair = function
             | [] -> []
             | t :: v :: rest -> (t, v) :: pair rest
-            | [ _ ] -> fail line "pwl needs an even number of values"
+            | [ _ ] -> fail st tok.at "pwl needs an even number of values"
           in
           Waveform.pwl (pair nums)
         end
-      | _, [], _ -> Waveform.dc (number line tok)
-      | _ -> fail line (Printf.sprintf "unrecognised source value %S" tok)
+      | _, [], _ -> Waveform.dc (value_of st env tok)
+      | _ -> fail st tok.at "unrecognised source value %S" tok.text
     end
 
-(* key=value attribute list for device cards. *)
-let attributes line tokens =
-  List.map
-    (fun tok ->
-      match String.index_opt tok '=' with
-      | Some i ->
-          ( String.lowercase_ascii (String.sub tok 0 i),
-            String.sub tok (i + 1) (String.length tok - i - 1) )
-      | None -> fail line (Printf.sprintf "expected key=value, got %S" tok))
-    tokens
+(* key=value attribute list for device cards: (key, text, value loc). *)
+let attributes st tokens =
+  List.map (fun tok -> split_kv st tok) (glue_eq tokens)
 
 (* Resolve a CNFET card into a registered device model.  The registry
    ({!Cnt_core.Device_model.of_card}) picks the backend from [model=]
@@ -383,168 +837,397 @@ let attributes line tokens =
    with many identical transistors builds the model once.  [file=]
    bypasses the registry and loads a pre-fitted piecewise model card
    saved by {!Cnt_core.Model_io}. *)
-let cnfet_model line ~polarity attrs =
-  let num key default =
-    match List.assoc_opt key attrs with
-    | Some v -> number line v
-    | None -> default
+let cnfet_model st env ~at ~polarity attrs =
+  let eval_attr key =
+    List.find_map
+      (fun (k, v, vat) ->
+        if k = key then Some (eval_text st env ~at:vat ~coloff:0 v) else None)
+      attrs
   in
-  let length = num "l" 0.0 *. 1e-9 in
-  match List.assoc_opt "file" attrs with
-  | Some path ->
+  let length =
+    (match eval_attr "l" with Some v -> v | None -> 0.0) *. 1e-9
+  in
+  let plain = List.map (fun (k, v, _) -> (k, v)) attrs in
+  match List.find_opt (fun (k, _, _) -> k = "file") attrs with
+  | Some (_, path, vat) ->
       let m =
-        try Cnt_core.Model_io.load path
-        with
-        | Cnt_core.Model_io.Bad_model_file msg -> fail line msg
-        | Sys_error msg -> fail line msg
+        try Cnt_core.Model_io.load path with
+        | Cnt_core.Model_io.Bad_model_file msg -> fail st vat "%s" msg
+        | Sys_error msg -> fail st vat "%s" msg
       in
       if Cnt_core.Cnt_model.polarity m <> polarity then
-        fail line
-          (Printf.sprintf "model file %s has the wrong polarity for this card" path);
+        fail st vat "model file %s has the wrong polarity for this card" path;
       (Cnt_core.Device_model.of_piecewise m, length)
   | None -> (
-      match
-        Cnt_core.Device_model.of_card ~polarity ~number:(number line) attrs
-      with
+      (* resolve every numeric attribute through the expression
+         evaluator, pointing errors at the attribute's own value *)
+      let number text =
+        let vat =
+          List.find_map
+            (fun (_, v, vat) -> if v = text then Some vat else None)
+            attrs
+        in
+        eval_text st env ~at:(Option.value vat ~default:at) ~coloff:0 text
+      in
+      match Cnt_core.Device_model.of_card ~polarity ~number plain with
       | Ok m -> (m, length)
-      | Error msg -> fail line msg)
+      | Error msg -> fail st at "%s" msg)
 
-let parse_print line tokens =
+(* Canonical signature of a parameter binding, used to share resolved
+   subcircuit patterns across instances. *)
+let env_signature env =
+  let buf = Buffer.create 32 in
+  Env.iter
+    (fun k v -> Buffer.add_string buf (Printf.sprintf "%s=%h;" k v))
+    env;
+  Buffer.contents buf
+
+(* Resolve one element card under [env].  Node names are kept exactly
+   as written; hierarchy is applied later by [emit_rcard]. *)
+let rec resolve_card st defs env (card : card) =
+  match card.toks with
+  | [] -> assert false (* the lexer drops empty cards *)
+  | head :: args -> begin
+      let two kind usage =
+        match args with
+        | [ n1; n2; v ] ->
+            R_two
+              {
+                kind;
+                rname = head.text;
+                n1 = n1.text;
+                n2 = n2.text;
+                value = value_of st env v;
+              }
+        | _ -> fail st head.at "%s" usage
+      in
+      match (lc head.text).[0] with
+      | 'r' -> two `R "resistor: Rname n1 n2 value"
+      | 'c' -> two `C "capacitor: Cname n1 n2 value"
+      | 'l' -> two `L "inductor: Lname n1 n2 value"
+      | 'v' | 'i' -> begin
+          let kind = if (lc head.text).[0] = 'v' then `V else `I in
+          match args with
+          | np :: nn :: value ->
+              let value, ac = split_ac st env value in
+              R_src
+                {
+                  kind;
+                  rname = head.text;
+                  np = np.text;
+                  nn = nn.text;
+                  wave = source_wave st env ~at:head.at value;
+                  ac;
+                }
+          | _ ->
+              fail st head.at "%s: %cname n+ n- value [AC mag]"
+                (if kind = `V then "vsource" else "isource")
+                (if kind = `V then 'V' else 'I')
+        end
+      | 'm' -> begin
+          match args with
+          | d :: g :: s :: kind :: attr_toks ->
+              let polarity =
+                match lc kind.text with
+                | "cnfet" -> Cnt_core.Cnt_model.N_type
+                | "pcnfet" -> Cnt_core.Cnt_model.P_type
+                | k -> fail st kind.at "unknown device kind %S" k
+              in
+              let model, length =
+                cnfet_model st env ~at:head.at ~polarity
+                  (attributes st attr_toks)
+              in
+              R_fet
+                {
+                  rname = head.text;
+                  d = d.text;
+                  g = g.text;
+                  s = s.text;
+                  model;
+                  length;
+                }
+          | _ ->
+              fail st head.at
+                "cnfet: Mname drain gate source CNFET|PCNFET [key=value...]"
+        end
+      | 'x' -> begin
+          let args = glue_eq args in
+          let plains, kvs = List.partition (fun t -> not (has_eq t)) args in
+          match List.rev plains with
+          | subtok :: rev_nodes -> begin
+              let sub_name = lc subtok.text in
+              let sub =
+                match Hashtbl.find_opt defs sub_name with
+                | Some d -> d
+                | None -> fail st subtok.at "unknown subcircuit %s" sub_name
+              in
+              let nodes = List.rev_map (fun t -> t.text) rev_nodes in
+              if List.length nodes <> List.length sub.ports then
+                fail st head.at "%s expects %d ports, got %d" sub_name
+                  (List.length sub.ports) (List.length nodes);
+              (* overrides must name declared formals; both defaults
+                 and overrides evaluate in the caller's binding *)
+              let overrides =
+                List.map
+                  (fun t ->
+                    let key, v, vat = split_kv st t in
+                    if not (List.mem_assoc key sub.formals) then
+                      fail st t.at
+                        "%s is not a parameter of subcircuit %s%s" key
+                        sub_name
+                        (match sub.formals with
+                        | [] -> " (it declares none)"
+                        | fs ->
+                            Printf.sprintf " (parameters: %s)"
+                              (String.concat ", " (List.map fst fs)));
+                    (key, eval_text st env ~at:vat ~coloff:0 v))
+                  kvs
+              in
+              let ienv =
+                List.fold_left
+                  (fun acc (key, default_tok) ->
+                    let v =
+                      match List.assoc_opt key overrides with
+                      | Some v -> v
+                      | None -> value_of st env default_tok
+                    in
+                    Env.add key v acc)
+                  env sub.formals
+              in
+              R_inst { rname = head.text; nodes; sub; ienv; rat = head.at }
+            end
+          | [] ->
+              fail st head.at "instance: Xname node... SUBCKT [param=value...]"
+        end
+      | '.' ->
+          if lc head.text = ".param" then
+            fail st head.at
+              ".param is not allowed inside .subckt (declare formal \
+               parameters on the .subckt line instead)"
+          else fail st head.at "directives are not allowed inside .subckt"
+      | _ -> fail st head.at "unknown card %S" head.text
+    end
+
+(* Resolve a subcircuit body under one binding, sharing the result
+   across instances with the same binding. *)
+and resolve_body st defs (def : subckt) ienv =
+  let sig_ = env_signature ienv in
+  match Hashtbl.find_opt def.patterns sig_ with
+  | Some cards ->
+      Obs.incr c_pattern_hits;
+      cards
+  | None ->
+      Obs.incr c_pattern_compiles;
+      let cards = List.map (resolve_card st defs ienv) def.body in
+      Hashtbl.add def.patterns sig_ cards;
+      cards
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy expansion over resolved cards                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The first character encodes the element type, so the instance
+   prefix goes after it: MN1 in instance x1 -> "mx1.mn1". *)
+let element_name ~prefix name =
+  if prefix = "" then name
+  else
+    Printf.sprintf "%c%s.%s"
+      (Char.lowercase_ascii name.[0])
+      prefix (lc name)
+
+let rec emit_rcard st defs ~depth ~prefix ~map_node elements r =
+  match r with
+  | R_two { kind; rname; n1; n2; value } ->
+      let name = element_name ~prefix rname in
+      let n1 = map_node n1 and n2 = map_node n2 in
+      let e =
+        match kind with
+        | `R -> Circuit.resistor name n1 n2 value
+        | `C -> Circuit.capacitor name n1 n2 value
+        | `L -> Circuit.inductor name n1 n2 value
+      in
+      elements := e :: !elements
+  | R_src { kind; rname; np; nn; wave; ac } ->
+      let name = element_name ~prefix rname in
+      let np = map_node np and nn = map_node nn in
+      let e =
+        match kind with
+        | `V -> Circuit.vsource ~ac name np nn wave
+        | `I -> Circuit.isource ~ac name np nn wave
+      in
+      elements := e :: !elements
+  | R_fet { rname; d; g; s; model; length } ->
+      elements :=
+        Circuit.cnfet_model ~length (element_name ~prefix rname)
+          ~drain:(map_node d) ~gate:(map_node g) ~source:(map_node s) model
+        :: !elements
+  | R_inst { rname; nodes; sub; ienv; rat } ->
+      if depth >= 20 then fail st rat "subcircuit nesting deeper than 20";
+      Obs.incr c_instances;
+      let actual = List.map map_node nodes in
+      let child_prefix =
+        if prefix = "" then lc rname else element_name ~prefix rname
+      in
+      let node_map = Hashtbl.create 8 in
+      List.iter2
+        (fun port node -> Hashtbl.add node_map port node)
+        sub.ports actual;
+      let map_child n =
+        if Circuit.is_ground n then n
+        else
+          match Hashtbl.find_opt node_map (lc n) with
+          | Some mapped -> mapped
+          | None -> child_prefix ^ "." ^ lc n
+      in
+      List.iter
+        (emit_rcard st defs ~depth:(depth + 1) ~prefix:child_prefix
+           ~map_node:map_child elements)
+        (resolve_body st defs sub ienv)
+
+(* ------------------------------------------------------------------ *)
+(* Directives and the main walk                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_print st tokens =
   List.map
     (fun tok ->
-      match call_form tok with
-      | "v", [ node ] -> Print_v (String.lowercase_ascii node)
-      | "i", [ src ] -> Print_i (String.lowercase_ascii src)
-      | "id", [ dev ] -> Print_id (String.lowercase_ascii dev)
+      match call_form tok.text with
+      | "v", [ node ] -> Print_v (lc node)
+      | "i", [ src ] -> Print_i (lc src)
+      | "id", [ dev ] -> Print_id (lc dev)
       | _ ->
-          fail line
-            (Printf.sprintf
-               "bad print item %S (use v(node), i(vsrc) or id(device))" tok))
+          fail st tok.at
+            "bad print item %S (use v(node), i(vsrc) or id(device))" tok.text)
     tokens
 
-let parse text =
+let parse_param st env ~at tokens =
+  let tokens = glue_eq tokens in
+  if tokens = [] then fail st at ".param needs name=expr assignments";
+  (* on a .param card a token without '=' can only be the continuation
+     of the previous expression ("vdd = 0.5 + 0.1"), so stitch it back
+     on; the next '='-bearing token starts the next assignment *)
+  let assignments =
+    List.fold_left
+      (fun acc tok ->
+        if has_eq tok then tok :: acc
+        else
+          match acc with
+          | prev :: rest -> { prev with text = prev.text ^ " " ^ tok.text } :: rest
+          | [] -> fail st tok.at "expected name=expr, got %S" tok.text)
+      [] tokens
+    |> List.rev
+  in
+  List.iter
+    (fun tok ->
+      let key, v, vat = split_kv st tok in
+      if not (is_ident_name key) then
+        fail st tok.at "bad parameter name %S" key;
+      env := Env.add key (eval_text st !env ~at:vat ~coloff:0 v) !env)
+    assignments
+
+(* SPICE treats the first line as the title unless it looks like a
+   card we recognise. *)
+let looks_like_card l =
+  match (lc l).[0] with
+  | '.' -> true
+  (* element cards have at least a name and three operands *)
+  | 'r' | 'c' | 'l' | 'v' | 'i' | 'm' | 'x' ->
+      let fields =
+        String.split_on_char ' '
+          (String.map (fun c -> if c = '\t' || c = ',' then ' ' else c) l)
+        |> List.filter (fun s -> s <> "")
+      in
+      List.length fields >= 4
+  | _ -> false
+
+(* Locate the title: first non-blank, non-comment physical line of the
+   entry file, consumed only when it does not look like a card. *)
+let find_title lines =
+  let n = Array.length lines in
+  let rec go i =
+    if i >= n then (None, n)
+    else
+      let t = String.trim (strip_comment lines.(i)) in
+      if t = "" || t.[0] = '*' then go (i + 1)
+      else if looks_like_card t then (None, i)
+      else (Some t, i + 1)
+  in
+  go 0
+
+let parse ?(file = "<deck>") text =
   Cnt_obs.Obs.span "spice.parse" @@ fun () ->
-  match logical_lines text with
-  | [] -> raise (Parse_error "empty netlist")
-  | first :: rest ->
-      (* SPICE treats the first line as the title unless it looks like
-         a card we recognise *)
-      let looks_like_card l =
-        match (String.lowercase_ascii l).[0] with
-        | '.' -> true
-        (* element cards have at least a name and three operands *)
-        | 'r' | 'c' | 'l' | 'v' | 'i' | 'm' | 'x' -> List.length (tokenize l) >= 4
-        | _ -> false
-      in
-      let title, lines =
-        if looks_like_card first then ("untitled", first :: rest) else (first, rest)
-      in
-      let lines = expand_subckts lines in
-      let elements = ref [] and analyses = ref [] and prints = ref [] in
-      let ended = ref false in
-      List.iter
-        (fun line ->
-          if not !ended then begin
-            match tokenize line with
-            | [] -> ()
-            | head :: args -> begin
-                let h = String.lowercase_ascii head in
-                match h.[0] with
-                | '.' -> begin
-                    match (h, args) with
-                    | ".end", _ -> ended := true
-                    | ".op", _ -> analyses := Op :: !analyses
-                    | ".dc", [ src; a; b; s ] ->
-                        analyses :=
-                          Dc_sweep
-                            {
-                              source = String.lowercase_ascii src;
-                              start = number line a;
-                              stop = number line b;
-                              step = number line s;
-                            }
-                          :: !analyses
-                    | ".tran", [ ts; tstop ] ->
-                        analyses :=
-                          Tran { tstep = number line ts; tstop = number line tstop }
-                          :: !analyses
-                    | ".ac", [ kind; n; fstart; fstop ]
-                      when String.lowercase_ascii kind = "dec" ->
-                        analyses :=
-                          Ac_sweep
-                            {
-                              per_decade = int_of_float (number line n);
-                              fstart = number line fstart;
-                              fstop = number line fstop;
-                            }
-                          :: !analyses
-                    | ".ac", _ ->
-                        fail line ".ac needs: .ac dec <points/decade> <fstart> <fstop>"
-                    | ".print", items -> prints := !prints @ parse_print line items
-                    | _ -> fail line (Printf.sprintf "unknown directive %s" h)
-                  end
-                | 'r' -> begin
-                    match args with
-                    | [ n1; n2; v ] ->
-                        elements := Circuit.resistor head n1 n2 (number line v) :: !elements
-                    | _ -> fail line "resistor: Rname n1 n2 value"
-                  end
-                | 'c' -> begin
-                    match args with
-                    | [ n1; n2; v ] ->
-                        elements := Circuit.capacitor head n1 n2 (number line v) :: !elements
-                    | _ -> fail line "capacitor: Cname n1 n2 value"
-                  end
-                | 'l' -> begin
-                    match args with
-                    | [ n1; n2; v ] ->
-                        elements := Circuit.inductor head n1 n2 (number line v) :: !elements
-                    | _ -> fail line "inductor: Lname n1 n2 value"
-                  end
-                | 'v' -> begin
-                    match args with
-                    | np :: nn :: value ->
-                        let value, ac = split_ac line value in
-                        elements :=
-                          Circuit.vsource ~ac head np nn (source_wave line value)
-                          :: !elements
-                    | _ -> fail line "vsource: Vname n+ n- value [AC mag]"
-                  end
-                | 'i' -> begin
-                    match args with
-                    | np :: nn :: value ->
-                        let value, ac = split_ac line value in
-                        elements :=
-                          Circuit.isource ~ac head np nn (source_wave line value)
-                          :: !elements
-                    | _ -> fail line "isource: Iname n+ n- value [AC mag]"
-                  end
-                | 'm' -> begin
-                    match args with
-                    | d :: g :: s :: kind :: attrs_toks -> begin
-                        let polarity =
-                          match String.lowercase_ascii kind with
-                          | "cnfet" -> Cnt_core.Cnt_model.N_type
-                          | "pcnfet" -> Cnt_core.Cnt_model.P_type
-                          | k -> fail line (Printf.sprintf "unknown device kind %S" k)
-                        in
-                        let model, length =
-                          cnfet_model line ~polarity (attributes line attrs_toks)
-                        in
-                        elements :=
-                          Circuit.cnfet_model ~length head ~drain:d ~gate:g
-                            ~source:s model
-                          :: !elements
-                      end
-                    | _ -> fail line "cnfet: Mname drain gate source CNFET|PCNFET [key=value...]"
-                  end
-                | _ -> fail line (Printf.sprintf "unknown card %S" head)
+  let st = { sources = Hashtbl.create 4; file_order = [] } in
+  register_source st file text;
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let title_opt, from = find_title lines in
+  let cards = ref [] in
+  lex_lines st ~stack:[ file ] ~file ~lines ~from (fun c ->
+      cards := c :: !cards);
+  let cards = List.rev !cards in
+  if title_opt = None && cards = [] then fail_nowhere "empty netlist";
+  let title = Option.value title_opt ~default:"untitled" in
+  let defs, top = extract_subckts st cards in
+  let env = ref Env.empty in
+  let elements = ref [] and analyses = ref [] and prints = ref [] in
+  let ended = ref false in
+  List.iter
+    (fun (card : card) ->
+      if not !ended then begin
+        match card.toks with
+        | [] -> ()
+        | head :: args -> begin
+            let h = lc head.text in
+            match h.[0] with
+            | '.' -> begin
+                let num tok = value_of st !env tok in
+                match (h, args) with
+                | ".end", _ -> ended := true
+                | ".op", _ -> analyses := Op :: !analyses
+                | ".param", _ -> parse_param st env ~at:head.at args
+                | ".dc", [ src; a; b; s ] ->
+                    analyses :=
+                      Dc_sweep
+                        {
+                          source = lc src.text;
+                          start = num a;
+                          stop = num b;
+                          step = num s;
+                        }
+                      :: !analyses
+                | ".dc", _ ->
+                    fail st head.at ".dc needs: .dc SRC start stop step"
+                | ".tran", [ ts; tstop ] ->
+                    analyses :=
+                      Tran { tstep = num ts; tstop = num tstop } :: !analyses
+                | ".tran", _ -> fail st head.at ".tran needs: .tran tstep tstop"
+                | ".ac", [ kind; n; fstart; fstop ] when lc kind.text = "dec"
+                  ->
+                    analyses :=
+                      Ac_sweep
+                        {
+                          per_decade = int_of_float (num n);
+                          fstart = num fstart;
+                          fstop = num fstop;
+                        }
+                      :: !analyses
+                | ".ac", _ ->
+                    fail st head.at
+                      ".ac needs: .ac dec <points/decade> <fstart> <fstop>"
+                | ".print", items -> prints := !prints @ parse_print st items
+                | _ -> fail st head.at "unknown directive %s" h
               end
-          end)
-        lines;
-      {
-        title;
-        circuit = Circuit.create (List.rev !elements);
-        analyses = List.rev !analyses;
-        prints = !prints;
-      }
+            | 'r' | 'c' | 'l' | 'v' | 'i' | 'm' | 'x' ->
+                emit_rcard st defs ~depth:0 ~prefix:"" ~map_node:Fun.id
+                  elements
+                  (resolve_card st defs !env card)
+            | _ -> fail st head.at "unknown card %S" head.text
+          end
+      end)
+    top;
+  {
+    title;
+    circuit = Circuit.create (List.rev !elements);
+    analyses = List.rev !analyses;
+    prints = !prints;
+    files = List.rev st.file_order;
+  }

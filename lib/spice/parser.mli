@@ -1,7 +1,21 @@
 (** Parser for a small SPICE-like netlist dialect with CNFET device
-    cards.  See the implementation header for the accepted grammar. *)
+    cards, [.param] arithmetic expressions, [.include] and
+    parameterized [.subckt] hierarchy.  See the implementation header
+    and docs/NETLIST.md for the accepted grammar. *)
 
-exception Parse_error of string
+type loc = Diag.source_loc = { file : string; line : int; col : int }
+(** 1-based source position; for '+'-continued cards the first
+    physical line of the card. *)
+
+type error = Diag.located = {
+  loc : loc option;
+  message : string;
+  excerpt : string option;
+}
+(** What went wrong and where; [excerpt] is a caret-style rendering of
+    the offending source line. *)
+
+exception Parse_error of error
 
 type print_item =
   | Print_v of string  (** [v(node)] *)
@@ -31,13 +45,21 @@ type deck = {
   circuit : Circuit.t;
   analyses : analysis list;
   prints : print_item list;
+  files : string list;
+      (** every file the deck pulled in: the entry file first, then
+          [.include]d files in inclusion order *)
 }
 
-val number : string -> string -> float
-(** [number context token] parses a SPICE number with engineering
-    suffix (f p n u m k meg g t); [context] appears in error
-    messages. *)
+val eval_expr :
+  ?params:(string * float) list -> string -> (float, string) result
+(** Evaluate one arithmetic expression under a parameter binding:
+    [+ - * / ^] with the usual precedence ([^] right-associative and
+    tighter than unary minus), parentheses, engineering suffixes on
+    literals (f p n u m k meg g t; m = milli, meg = mega), functions
+    (sqrt exp ln log log10 abs min max pow) and the constant [pi].
+    Accepts bare, [{...}] and ['...'] spellings. *)
 
-val parse : string -> deck
-(** Parse a netlist text.  Raises {!Parse_error} with a message naming
-    the offending card. *)
+val parse : ?file:string -> string -> deck
+(** Parse a netlist text.  [file] (default ["<deck>"]) names the text
+    in locations and resolves relative [.include] paths.  Raises
+    {!Parse_error} with a precise location and excerpt. *)

@@ -129,7 +129,8 @@ let test_diag_json () =
 
 let test_exit_code_mapping () =
   let d = Diag.of_trail ~analysis:"op" [] in
-  Alcotest.(check int) "parse" 2 (Diag.exit_code (Diag.Parse "x"));
+  Alcotest.(check int) "parse" 2
+    (Diag.exit_code (Diag.Parse (Diag.located_message "x")));
   Alcotest.(check int) "bad deck" 2 (Diag.exit_code (Diag.Bad_deck "x"));
   Alcotest.(check int) "convergence" 3 (Diag.exit_code (Diag.Convergence d));
   Alcotest.(check int) "internal" 4 (Diag.exit_code (Diag.Internal "x"))

@@ -112,9 +112,9 @@ let test_deck_model_dispatch () =
   Alcotest.(check string) "model=vs with params" "vs"
     (DM.backend (parse_mn1 "model=vs vt0=0.25 dibl=0.08"));
   match parse_mn1 "model=nope" with
-  | exception Parser.Parse_error msg ->
+  | exception Parser.Parse_error err ->
       Alcotest.(check bool) "message names the bad backend" true
-        (contains msg "nope")
+        (contains err.Parser.message "nope")
   | _ -> Alcotest.fail "unknown model must not parse"
 
 let test_memoised_construction () =
@@ -314,7 +314,7 @@ let test_deck_cache_model_keyed () =
   let get ?model () =
     match Cnt_server.Deck_cache.find_or_parse ?model cache plain_deck_text with
     | Ok (e, hit) -> (e, hit)
-    | Error msg -> Alcotest.failf "deck cache: %s" msg
+    | Error err -> Alcotest.failf "deck cache: %s" (Diag.error_message err)
   in
   let plain, hit0 = get () in
   let vs, hit1 = get ~model:"vs" () in

@@ -454,7 +454,7 @@ let test_disconnect_mid_request () =
      before the result can arrive *)
   let fd = raw_connect sock in
   raw_send fd
-    (Protocol.encode_run ~id:"gone" ~deck:(Protocol.Deck_text text)
+    (Protocol.encode_run ~id:"gone" ~deck:(Protocol.Deck_text { text; file = None })
        ~config:Cnt_spice.Engine.default_config ~progress:true);
   Unix.close fd;
   Unix.sleepf 0.2;
@@ -524,7 +524,7 @@ let test_busy_drain () =
   let fd = raw_connect sock in
   Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
   raw_send fd
-    (Protocol.encode_run ~id:"drain" ~deck:(Protocol.Deck_text text)
+    (Protocol.encode_run ~id:"drain" ~deck:(Protocol.Deck_text { text; file = None })
        ~config:Cnt_spice.Engine.default_config ~progress:false);
   let rec read_until_result () =
     match raw_read_line fd with

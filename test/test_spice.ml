@@ -344,7 +344,11 @@ let test_transient_validation () =
 (* ------------------------------------------------------------------ *)
 
 let test_number_suffixes () =
-  let n s = Parser.number "test" s in
+  let n s =
+    match Parser.eval_expr s with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "eval_expr %S: %s" s msg
+  in
   check_close "kilo" 1000.0 (n "1k");
   check_close "milli" 1e-3 (n "1m");
   check_close "mega" 1e6 (n "1meg");
@@ -357,7 +361,7 @@ let test_number_suffixes () =
   check_close "exponent" 2.5e3 (n "2.5e3");
   check_close "negative" (-0.5) (n "-0.5");
   Alcotest.(check bool) "garbage rejected" true
-    (match n "abc" with exception Parser.Parse_error _ -> true | _ -> false)
+    (match Parser.eval_expr "abc" with Error _ -> true | Ok _ -> false)
 
 let test_parse_divider_deck () =
   let deck = Parser.parse "divider\nV1 in 0 DC 2.0\nR1 in out 1k\nR2 out 0 1k\n.op\n.end\n" in
@@ -505,7 +509,11 @@ let prop_number_roundtrip =
   QCheck2.Test.make ~name:"parser numbers round-trip plain floats" ~count:100
     QCheck2.Gen.(float_range (-1e6) 1e6)
     (fun x ->
-      let parsed = Parser.number "prop" (Printf.sprintf "%.9g" x) in
+      let parsed =
+        match Parser.eval_expr (Printf.sprintf "%.9g" x) with
+        | Ok v -> v
+        | Error msg -> QCheck2.Test.fail_reportf "eval_expr: %s" msg
+      in
       (* %.9g itself only carries ~9 significant digits *)
       Special.approx_equal ~atol:1e-8 ~rtol:1e-8 x parsed)
 
@@ -1232,7 +1240,8 @@ let test_solver_singular_circuit () =
    the contract; test_convergence.ml additionally exercises the built
    binary. *)
 let test_exit_code_contract () =
-  Alcotest.(check int) "parse error" 2 (Diag.exit_code (Diag.Parse "x"));
+  Alcotest.(check int) "parse error" 2
+    (Diag.exit_code (Diag.Parse (Diag.located_message "x")));
   Alcotest.(check int) "bad deck" 2 (Diag.exit_code (Diag.Bad_deck "x"));
   Alcotest.(check int) "convergence failure" 3
     (Diag.exit_code (Diag.Convergence (Diag.of_trail ~analysis:"op" [])));
